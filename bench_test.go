@@ -1,0 +1,96 @@
+package hawkeye
+
+// The benchmark harness: one testing.B per table and figure of the paper's
+// evaluation. Each benchmark regenerates its table in Quick mode (steady
+// phases compressed ~10x with daemon rates scaled to match; shapes are
+// preserved) and reports domain-specific metrics alongside ns/op. Run the
+// full-fidelity versions with: go run ./cmd/hawkeye-bench all
+//
+// Reported custom metrics (b.ReportMetric) carry the experiment's headline
+// number so regressions in reproduction quality show up in benchmark CI.
+
+import (
+	"strings"
+	"testing"
+
+	"hawkeye/internal/experiments"
+)
+
+// benchOpts is the shared Quick configuration.
+func benchOpts() experiments.Options {
+	return experiments.Options{Scale: 1.0 / 12, Seed: 1, Quick: true}
+}
+
+// runExperiment executes one experiment per benchmark iteration and returns
+// the last table for metric extraction.
+func runExperiment(b *testing.B, id string) *experiments.Table {
+	b.Helper()
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tab, err = experiments.Run(id, benchOpts())
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+	return tab
+}
+
+// cell finds the first row whose first column contains rowKey and returns
+// the col-th cell ("" if missing) — used to surface headline numbers.
+func cell(tab *experiments.Table, rowKey string, col int) string {
+	for _, row := range tab.Rows {
+		if strings.Contains(row[0], rowKey) && col < len(row) {
+			return row[col]
+		}
+	}
+	return ""
+}
+
+func BenchmarkTable1PageFaults(b *testing.B) {
+	tab := runExperiment(b, "table1")
+	if got := cell(tab, "linux-2m (sync zero)", 1); got == "" {
+		b.Fatal("missing linux-2m row")
+	}
+}
+
+func BenchmarkFig1RedisBloat(b *testing.B) {
+	tab := runExperiment(b, "fig1")
+	// HawkEye must complete; Linux must OOM.
+	if !strings.Contains(cell(tab, "hawkeye-g", 5), "completed") {
+		b.Fatalf("hawkeye did not survive bloat: %v", tab.Rows)
+	}
+	if !strings.Contains(cell(tab, "linux", 5), "OOM") {
+		b.Fatalf("linux unexpectedly survived: %v", tab.Rows)
+	}
+}
+
+func BenchmarkTable2Census(b *testing.B)      { runExperiment(b, "table2") }
+func BenchmarkTable3NPB(b *testing.B)         { runExperiment(b, "table3") }
+func BenchmarkFig3ZeroScan(b *testing.B)      { runExperiment(b, "fig3") }
+func BenchmarkFig6Timeline(b *testing.B)      { runExperiment(b, "fig6") }
+func BenchmarkFig8Heterogeneous(b *testing.B) { runExperiment(b, "fig8") }
+func BenchmarkFig9Virtualized(b *testing.B)   { runExperiment(b, "fig9") }
+func BenchmarkFig10Interference(b *testing.B) { runExperiment(b, "fig10") }
+func BenchmarkFig11Overcommit(b *testing.B)   { runExperiment(b, "fig11") }
+func BenchmarkTable7BloatPerf(b *testing.B)   { runExperiment(b, "table7") }
+func BenchmarkTable8FastFaults(b *testing.B)  { runExperiment(b, "table8") }
+
+func BenchmarkFig5PromotionEfficiency(b *testing.B) {
+	tab := runExperiment(b, "fig5")
+	_ = tab
+}
+
+func BenchmarkTable5Fairness(b *testing.B) {
+	tab := runExperiment(b, "table5")
+	_ = tab
+}
+
+func BenchmarkTable9PMUvsG(b *testing.B) {
+	tab := runExperiment(b, "table9")
+	_ = tab
+}
+
+func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation") }
+
+func BenchmarkSwapDemo(b *testing.B) { runExperiment(b, "swapdemo") }

@@ -1,0 +1,59 @@
+// Command hawkeye-bench regenerates the tables and figures of the HawkEye
+// paper's evaluation on the simulator.
+//
+// Usage:
+//
+//	hawkeye-bench [-scale 0.0833] [-quick] [-seed 1] all|<id> [<id>...]
+//
+// Valid experiment IDs: run with -list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hawkeye/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0/12, "footprint and machine scale relative to the paper's 96 GB host")
+	quick := flag.Bool("quick", false, "shorten steady phases ~10x (shapes preserved)")
+	seed := flag.Uint64("seed", 1, "deterministic RNG seed")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: hawkeye-bench [flags] all|<experiment-id>...")
+		fmt.Fprintln(os.Stderr, "experiments:", experiments.IDs())
+		os.Exit(2)
+	}
+	ids := args
+	if len(args) == 1 && args[0] == "all" {
+		ids = experiments.IDs()
+	}
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Quick: *quick}
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Println(tab.String())
+		fmt.Printf("(%s completed in %.1fs wall)\n\n", id, time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,25 @@
+// Quickstart: run one TLB-sensitive workload under two huge-page policies
+// and compare runtimes, MMU overheads and fault counts.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"hawkeye"
+)
+
+func main() {
+	fmt.Println("cg.D (random access over 16 GB at paper scale) under two policies:")
+	for _, policy := range []string{"none", "hawkeye-g"} {
+		sim := hawkeye.NewSim(hawkeye.Options{Policy: policy})
+		w := sim.AddWorkload("cg.D")
+		sim.MustRun(0)
+		fmt.Printf("  %-10s %s\n", policy, sim.Report(w))
+	}
+	fmt.Println()
+	fmt.Println("The 4 KB run spends ≈ 39% of its cycles in page walks (Table 3 of the")
+	fmt.Println("paper); HawkEye maps the footprint with 2 MB pages at fault time and")
+	fmt.Println("the overhead collapses.")
+}

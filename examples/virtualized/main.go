@@ -1,0 +1,76 @@
+// virtualized: the Fig. 9 scenario as library usage. A VM runs a lightly
+// loaded Redis (big footprint, no TLB pressure) next to cg.D (random
+// access, heavy TLB pressure) on a fragmented host. Deploying HawkEye in
+// the guest routes the scarce guest huge pages to cg.D's hot regions;
+// deploying it at the host backs the guest's hot physical memory with
+// EPT-level huge pages, shortening nested walks.
+//
+//	go run ./examples/virtualized
+package main
+
+import (
+	"fmt"
+
+	"hawkeye"
+	"hawkeye/internal/core"
+	"hawkeye/internal/kernel"
+	"hawkeye/internal/policy"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/virt"
+	"hawkeye/internal/workload"
+)
+
+func mkLinux() kernel.Policy { p := policy.NewLinuxTHP(); p.ScanRate = 8; return p }
+
+func mkHawkEye() kernel.Policy {
+	c := core.DefaultConfig(core.VariantG)
+	c.PromoteRate = 8
+	c.SamplePeriod = 3 * sim.Second
+	c.SampleWindow = sim.Second
+	return core.New(c)
+}
+
+func main() {
+	configs := []struct {
+		label       string
+		host, guest func() kernel.Policy
+	}{
+		{"linux host + linux guest", mkLinux, mkLinux},
+		{"hawkeye host + linux guest", mkHawkEye, mkLinux},
+		{"linux host + hawkeye guest", mkLinux, mkHawkEye},
+		{"hawkeye host + hawkeye guest", mkHawkEye, mkHawkEye},
+	}
+	for _, c := range configs {
+		run(c.label, c.host(), c.guest())
+	}
+}
+
+func run(label string, hostPol, guestPol kernel.Policy) {
+	hcfg := kernel.DefaultConfig()
+	h := virt.NewHost(hcfg, hostPol, virt.NoSharing)
+	h.K.FragmentMemory(0.15)
+
+	vm := h.AddVM("vm", hcfg.MemoryBytes*5/8, guestPol)
+	vm.Guest.FragmentMemoryPinned(0.15, 0.7)
+
+	redis := workload.New(workload.Lookup("redis-light"), hawkeye.DefaultScale/4)
+	vm.Spawn("redis", redis.Program)
+
+	spec := workload.Lookup("cg.D")
+	spec.WorkSeconds = 60
+	app := vm.SpawnAt(5*sim.Second, "cg", workload.New(spec, hawkeye.DefaultScale/4).Program)
+
+	h.K.Engine.Every(sim.Second, "done", func(e *sim.Engine) (bool, error) {
+		if app.Done {
+			e.Stop()
+			return false, nil
+		}
+		return true, nil
+	})
+	if err := h.Run(20 * sim.Minute); err != nil {
+		fmt.Println(label, "error:", err)
+		return
+	}
+	fmt.Printf("%-30s cg runtime %v, guest huge %d, host huge-backed %.0f%%\n",
+		label, app.Runtime(h.K.Now()), app.VP.HugeMapped(), 100*vm.HostHugeFraction())
+}

@@ -1,0 +1,114 @@
+package content
+
+import (
+	"testing"
+
+	"hawkeye/internal/mem"
+	"hawkeye/internal/sim"
+)
+
+func newStore() *Store { return NewStore(1024, sim.NewRand(1)) }
+
+func TestFreshFramesAreZero(t *testing.T) {
+	s := newStore()
+	for f := mem.FrameID(0); f < 1024; f++ {
+		if !s.Get(f).Zero() {
+			t.Fatalf("frame %d not zero", f)
+		}
+	}
+}
+
+func TestWriteMakesNonZero(t *testing.T) {
+	s := newStore()
+	s.Write(3)
+	sig := s.Get(3)
+	if sig.Zero() {
+		t.Fatal("written page still zero")
+	}
+	if sig.FirstNonZero >= mem.PageSize {
+		t.Fatalf("FirstNonZero out of range: %d", sig.FirstNonZero)
+	}
+	s.SetZero(3)
+	if !s.Get(3).Zero() {
+		t.Fatal("SetZero did not clear")
+	}
+}
+
+func TestWritesAreUnique(t *testing.T) {
+	s := newStore()
+	s.Write(1)
+	s.Write(2)
+	if s.Get(1).Hash == s.Get(2).Hash {
+		t.Fatal("independent writes collided")
+	}
+}
+
+func TestWriteSharedCollides(t *testing.T) {
+	s := newStore()
+	s.WriteShared(1, 42)
+	s.WriteShared(2, 42)
+	s.WriteShared(3, 43)
+	if s.Get(1).Hash != s.Get(2).Hash {
+		t.Fatal("shared writes with same key did not collide")
+	}
+	if s.Get(1).Hash == s.Get(3).Hash {
+		t.Fatal("different keys collided")
+	}
+	// Key 0 must be remapped away from the zero hash.
+	s.WriteShared(4, 0)
+	if s.Get(4).Zero() {
+		t.Fatal("WriteShared(0) produced a zero page")
+	}
+}
+
+func TestCopy(t *testing.T) {
+	s := newStore()
+	s.Write(5)
+	s.Copy(6, 5)
+	if s.Get(6) != s.Get(5) {
+		t.Fatal("copy mismatch")
+	}
+}
+
+func TestScanZeroPageReadsWholePage(t *testing.T) {
+	s := newStore()
+	res := s.Scan(0)
+	if !res.Zero || res.BytesScanned != mem.PageSize {
+		t.Fatalf("zero scan = %+v", res)
+	}
+}
+
+func TestScanInUsePageIsShort(t *testing.T) {
+	s := newStore()
+	// Paper: mean distance ≈ 9 bytes, so the average in-use scan must be
+	// tiny compared to a full page.
+	total := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		f := mem.FrameID(i % 1024)
+		s.Write(f)
+		res := s.Scan(f)
+		if res.Zero {
+			t.Fatal("written page scanned as zero")
+		}
+		total += res.BytesScanned
+	}
+	meanScan := float64(total) / n
+	if meanScan < 2 || meanScan > 30 {
+		t.Fatalf("mean in-use scan = %.1f bytes, want ≈ 10", meanScan)
+	}
+}
+
+func TestScanCost(t *testing.T) {
+	if ScanCost(0) != 0 {
+		t.Fatal("zero bytes should cost nothing")
+	}
+	if ScanCost(1) != 1 {
+		t.Fatal("sub-µs scans round up to 1µs")
+	}
+	// 10 MB at 10 GB/s ≈ 1 ms.
+	got := ScanCost(10 << 20)
+	if got < 900 || got > 1100 {
+		t.Fatalf("10MB scan cost = %v µs, want ≈ 1000", int64(got))
+	}
+}

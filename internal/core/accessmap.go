@@ -1,0 +1,196 @@
+// Package core implements HawkEye, the paper's contribution: fine-grained
+// access-coverage-driven huge page promotion (the per-process access_map of
+// §3.3), MMU-overhead-based fairness across processes (§3.4, in both the
+// hardware-counter HawkEye-PMU and the estimation-based HawkEye-G
+// variants), rate-limited asynchronous page pre-zeroing (§3.1), and
+// watermark-triggered memory-bloat recovery via zero-page de-duplication
+// (§3.2).
+package core
+
+import (
+	"hawkeye/internal/mem"
+	"hawkeye/internal/vmm"
+)
+
+// regionInfo is HawkEye's per-region metadata: the exponential moving
+// average of access-coverage (how many of the region's 512 base pages were
+// touched in the last sampling window) and its position in the access_map.
+type regionInfo struct {
+	region *vmm.Region
+	ema    float64 // EMA of access-coverage, 0..512
+	bucket int     // current access_map bucket, -1 if not resident
+	stale  bool    // region promoted/vanished; skip when popped
+}
+
+// AccessMap is the per-process bucket array of Fig. 4: bucket i holds the
+// regions whose coverage EMA falls in [i*512/n, (i+1)*512/n). Regions that
+// rise are inserted at the head of their new bucket, regions that fall at
+// the tail, so that within a bucket recently-hot regions are promoted
+// first.
+type AccessMap struct {
+	buckets [][]*regionInfo
+	infos   map[vmm.RegionIndex]*regionInfo
+	n       int
+}
+
+// NewAccessMap creates an access map with n buckets (the paper uses 10).
+func NewAccessMap(n int) *AccessMap {
+	if n <= 0 {
+		n = 10
+	}
+	return &AccessMap{
+		buckets: make([][]*regionInfo, n),
+		infos:   make(map[vmm.RegionIndex]*regionInfo),
+		n:       n,
+	}
+}
+
+// bucketOf maps a coverage EMA to its bucket index.
+func (m *AccessMap) bucketOf(ema float64) int {
+	b := int(ema * float64(m.n) / float64(mem.HugePages))
+	if b < 0 {
+		b = 0
+	}
+	if b >= m.n {
+		b = m.n - 1
+	}
+	return b
+}
+
+// Update folds a new coverage sample into the region's EMA and repositions
+// it in the map. alpha is the EMA weight of the new sample.
+func (m *AccessMap) Update(r *vmm.Region, coverage int, alpha float64) {
+	info, ok := m.infos[r.Index]
+	if !ok {
+		info = &regionInfo{region: r, ema: float64(coverage), bucket: -1}
+		m.infos[r.Index] = info
+	} else {
+		info.ema = alpha*float64(coverage) + (1-alpha)*info.ema
+		info.region = r
+		info.stale = false
+	}
+	newBucket := m.bucketOf(info.ema)
+	if newBucket == info.bucket {
+		return
+	}
+	rising := newBucket > info.bucket
+	m.detach(info)
+	info.bucket = newBucket
+	if rising {
+		// Rising regions go to the head: recently hot, promote first.
+		m.buckets[newBucket] = append([]*regionInfo{info}, m.buckets[newBucket]...)
+	} else {
+		m.buckets[newBucket] = append(m.buckets[newBucket], info)
+	}
+}
+
+// detach removes the info from its current bucket (linear; buckets are
+// modest and sampling is infrequent).
+func (m *AccessMap) detach(info *regionInfo) {
+	if info.bucket < 0 {
+		return
+	}
+	b := m.buckets[info.bucket]
+	for i, x := range b {
+		if x == info {
+			m.buckets[info.bucket] = append(b[:i], b[i+1:]...)
+			break
+		}
+	}
+	info.bucket = -1
+}
+
+// Remove drops a region from the map (process exit, region gone).
+func (m *AccessMap) Remove(idx vmm.RegionIndex) {
+	if info, ok := m.infos[idx]; ok {
+		m.detach(info)
+		info.stale = true
+		delete(m.infos, idx)
+	}
+}
+
+// HighestPromotable returns the highest bucket index holding a region that
+// can be promoted (base-mapped, populated), or -1.
+func (m *AccessMap) HighestPromotable() int {
+	for b := m.n - 1; b >= 0; b-- {
+		for _, info := range m.buckets[b] {
+			if !info.stale && promotableRegion(info.region) {
+				return b
+			}
+		}
+	}
+	return -1
+}
+
+// PopPromotable removes and returns the head-most promotable region at
+// bucket b, or nil.
+func (m *AccessMap) PopPromotable(b int) *vmm.Region {
+	if b < 0 || b >= m.n {
+		return nil
+	}
+	for i := 0; i < len(m.buckets[b]); i++ {
+		info := m.buckets[b][i]
+		if info.stale || !promotableRegion(info.region) {
+			continue
+		}
+		m.buckets[b] = append(m.buckets[b][:i], m.buckets[b][i+1:]...)
+		info.bucket = -1
+		return info.region
+	}
+	return nil
+}
+
+// EMA returns the coverage EMA of a region (0 if untracked).
+func (m *AccessMap) EMA(idx vmm.RegionIndex) float64 {
+	if info, ok := m.infos[idx]; ok {
+		return info.ema
+	}
+	return 0
+}
+
+// EstimatedOverhead is HawkEye-G's proxy for a process's MMU overhead: the
+// normalized coverage of its hottest *non-huge* region (regions already
+// mapped huge do not contend for 4 KB TLB entries). Range [0,1].
+func (m *AccessMap) EstimatedOverhead() float64 {
+	best := 0.0
+	for b := m.n - 1; b >= 0; b-- {
+		for _, info := range m.buckets[b] {
+			if info.stale || info.region.Huge {
+				continue
+			}
+			if v := info.ema / float64(mem.HugePages); v > best {
+				best = v
+			}
+		}
+		if best > 0 {
+			break
+		}
+	}
+	return best
+}
+
+// HugeColdness reports the average coverage EMA of the process's huge
+// regions — the bloat-recovery thread prefers scanning processes whose huge
+// pages are cold (low value).
+func (m *AccessMap) HugeColdness() float64 {
+	sum, n := 0.0, 0
+	for _, info := range m.infos {
+		if info.stale || !info.region.Huge {
+			continue
+		}
+		sum += info.ema
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Len reports tracked regions.
+func (m *AccessMap) Len() int { return len(m.infos) }
+
+// promotableRegion: base-mapped with at least one populated page.
+func promotableRegion(r *vmm.Region) bool {
+	return !r.Huge && r.Populated() > 0
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"hawkeye/internal/kernel"
+	"hawkeye/internal/mem"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/vmm"
+)
+
+// TestHugePageLimitCapsFaultPath verifies the §3.5(2) starvation guard: a
+// process stops receiving fault-time huge pages at its cap.
+func TestHugePageLimitCapsFaultPath(t *testing.T) {
+	cfg := DefaultConfig(VariantG)
+	cfg.HugePageLimit = 3
+	k := testKernel(128, New(cfg))
+	p := k.Spawn("greedy", &bloatProg{regions: 10})
+	if err := k.Run(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p.VP.HugeMapped() != 3 {
+		t.Fatalf("huge mapped = %d, want capped at 3", p.VP.HugeMapped())
+	}
+	// The remaining regions are base-mapped and usable.
+	if p.Acct.BaseFaults == 0 {
+		t.Fatal("no base-page fallback after the cap")
+	}
+}
+
+// TestHugePageLimitCapsPromoter verifies the promoter also honours the cap.
+func TestHugePageLimitCapsPromoter(t *testing.T) {
+	cfg := DefaultConfig(VariantG)
+	cfg.HugePageLimit = 2
+	cfg.HugeOnFault = false // force the background path
+	cfg.PromoteRate = 50
+	cfg.SamplePeriod = sim.Second
+	cfg.SampleWindow = 500 * sim.Millisecond
+	h := New(cfg)
+	k := testKernel(128, h)
+	p := k.Spawn("greedy", &bloatProg{regions: 10})
+	if err := k.Run(20 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p.VP.HugeMapped() > 2 {
+		t.Fatalf("promoter exceeded limit: %d huge", p.VP.HugeMapped())
+	}
+}
+
+// TestAdaptiveWatermarksBackOffWhenDry: with no dedupable memory, the
+// high watermark drifts upward so the scanner stops burning cycles.
+func TestAdaptiveWatermarksBackOffWhenDry(t *testing.T) {
+	cfg := DefaultConfig(VariantG)
+	cfg.AdaptiveWatermarks = true
+	cfg.WatermarkHigh = 0.60
+	cfg.WatermarkLow = 0.40
+	h := New(cfg)
+	k := testKernel(128, h)
+	// Fully-written huge regions: above the watermark but zero bloat.
+	p := k.Spawn("dense", &denseProg{regions: 45})
+	if err := k.Run(60 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p.OOMKilled {
+		t.Fatal("dense workload died")
+	}
+	high, low := h.Watermarks()
+	if high <= 0.60 {
+		t.Fatalf("high watermark did not back off: %v", high)
+	}
+	if low >= high {
+		t.Fatalf("watermarks inverted: %v/%v", high, low)
+	}
+	if h.DedupedPages != 0 {
+		t.Fatal("dense pages were deduplicated?!")
+	}
+}
+
+// TestStaticWatermarksStayPut: without the extension the thresholds are
+// constant regardless of scanner productivity.
+func TestStaticWatermarksStayPut(t *testing.T) {
+	cfg := DefaultConfig(VariantG)
+	cfg.WatermarkHigh = 0.60
+	cfg.WatermarkLow = 0.40
+	h := New(cfg)
+	k := testKernel(128, h)
+	k.Spawn("dense", &denseProg{regions: 45})
+	if err := k.Run(30 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	high, low := h.Watermarks()
+	if high != 0.60 || low != 0.40 {
+		t.Fatalf("static watermarks moved: %v/%v", high, low)
+	}
+}
+
+// denseProg writes every page of its huge regions (no bloat to recover).
+type denseProg struct {
+	regions int
+	next    int64
+}
+
+func (d *denseProg) Step(k *kernel.Kernel, p *kernel.Proc) (sim.Time, bool, error) {
+	total := int64(d.regions) * mem.HugePages
+	var consumed sim.Time
+	for d.next < total && consumed < k.Cfg.Quantum {
+		c, err := k.Touch(p, vmm.VPN(d.next), true)
+		if err != nil {
+			return consumed, false, err
+		}
+		consumed += c
+		d.next++
+	}
+	return consumed + 10*sim.Millisecond, false, nil
+}

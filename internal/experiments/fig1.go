@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hawkeye/internal/core"
+	"hawkeye/internal/kernel"
+	"hawkeye/internal/mem"
+	"hawkeye/internal/policy"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/workload"
+)
+
+func init() { register("fig1", Fig1) }
+
+// Fig1 reproduces the Redis bloat-recovery experiment of Fig. 1 on a 48 GB
+// (scaled) machine: P1 inserts 45 GB of 4 KB values, P2 deletes 80% of the
+// keys (madvise leaves the address space sparse), and after a gap P3
+// inserts 2 MB values back up to 45 GB. Linux and Ingens re-inflate the
+// sparse regions with zero-filled huge pages and hit OOM during P3;
+// HawkEye's watermark-triggered dedup recovers the bloat and survives.
+func Fig1(o Options) (*Table, error) {
+	machBytes := int64(float64(48<<30) * o.Scale)
+	p1Pages := int64(float64(45<<30) * o.Scale / mem.PageSize)
+	p3Keys := int64(float64(36<<30) * o.Scale / mem.HugeSize)
+	pageCost := sim.Time(100)
+	gap := 120 * sim.Second
+	if o.Quick {
+		pageCost = 20
+		gap = 30 * sim.Second
+	}
+
+	type cfg struct {
+		label string
+		pol   func() kernel.Policy
+	}
+	configs := []cfg{
+		{"linux", func() kernel.Policy { p := policy.NewLinuxTHP(); p.ScanRate = 20; return p }},
+		{"ingens", func() kernel.Policy { p := policy.NewIngens(); p.ScanRate = 20; return p }},
+		{"hawkeye-g", func() kernel.Policy {
+			c := core.DefaultConfig(core.VariantG)
+			c.PromoteRate = 20
+			return core.New(c)
+		}},
+	}
+
+	type outcome struct {
+		label   string
+		rss     *sim.Series
+		oomAt   sim.Time
+		oom     bool
+		useful  int64 // bytes of live values at the end
+		deduped int64
+	}
+	var outs []outcome
+	for _, c := range configs {
+		kcfg := kernel.DefaultConfig()
+		kcfg.MemoryBytes = machBytes
+		kcfg.Seed = o.Seed
+		pol := c.pol()
+		k := kernel.New(kcfg, pol)
+		kv := &workload.KVStore{
+			Ops: []workload.KVOp{
+				workload.KVInsert{Keys: p1Pages, ValuePages: 1, PageCost: pageCost},
+				workload.KVDelete{Frac: 0.8},
+				workload.KVSleep{For: gap},
+				workload.KVInsert{Keys: p3Keys, ValuePages: mem.HugePages, PageCost: pageCost},
+			},
+			RecordRSS: "rss",
+		}
+		p := k.Spawn("redis", kv)
+		if err := k.Run(0); err != nil {
+			return nil, err
+		}
+		out := outcome{
+			label:  c.label,
+			rss:    k.Rec.Series("rss"),
+			oom:    p.OOMKilled,
+			oomAt:  p.FinishedAt,
+			useful: kv.LivePages() * mem.PageSize,
+		}
+		if he, ok := pol.(*core.HawkEye); ok {
+			out.deduped = he.DedupedPages
+		}
+		outs = append(outs, out)
+	}
+
+	t := &Table{
+		ID:     "fig1",
+		Title:  fmt.Sprintf("Redis RSS across insert/delete/insert phases (machine %.1f GB)", float64(machBytes)/float64(1<<30)),
+		Header: []string{"policy", "peak-RSS", "final-RSS", "useful-data", "bloat", "outcome", "deduped-pages"},
+	}
+	for _, out := range outs {
+		peak := int64(out.rss.Max())
+		final := int64(out.rss.Last())
+		status := "completed"
+		if out.oom {
+			status = fmt.Sprintf("OOM at %v", out.oomAt)
+		}
+		bloat := final - out.useful
+		if bloat < 0 {
+			bloat = 0
+		}
+		t.Add(out.label, gb(peak), gb(final), gb(out.useful), gb(bloat), status, out.deduped)
+	}
+	t.Note("paper: Linux OOMs with ≈28 GB bloat (20 GB useful), Ingens with ≈20 GB bloat (28 GB useful); HawkEye recovers and completes.")
+	t.Note("RSS timeline series 'rss' is recorded per run; use cmd/hawkeye-sim for the full curve.")
+	return t, nil
+}
+
+// gb renders bytes as gigabytes.
+func gb(bytes int64) string { return fmt.Sprintf("%.2fGB", float64(bytes)/float64(1<<30)) }

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hawkeye/internal/core"
+	"hawkeye/internal/kernel"
+	"hawkeye/internal/policy"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/virt"
+	"hawkeye/internal/workload"
+)
+
+func init() {
+	register("fig11", Fig11)
+	register("table9", Table9)
+}
+
+// Fig11 reproduces the overcommitment experiment of Fig. 11: four VMs whose
+// peak memory totals ≈ 1.5× the host run a mix of latency-sensitive
+// key-value stores and HPC workloads. Without any cooperation the host
+// swaps and throughput collapses; a balloon driver returns guest-free
+// memory; HawkEye guests pre-zero their free memory so host same-page
+// merging recovers it without any paravirtual interface.
+func Fig11(o Options) (*Table, error) {
+	modes := []struct {
+		label string
+		mode  virt.SharingMode
+		guest func() kernel.Policy
+	}{
+		{"no-balloon", virt.NoSharing, func() kernel.Policy { return quickLinux(o) }},
+		{"balloon", virt.Balloon, func() kernel.Policy { return quickLinux(o) }},
+		{"hawkeye prezero+ksm", virt.PrezeroKSM, func() kernel.Policy {
+			h := quickHawkEye(core.VariantG, rateFactor(o))
+			h.Cfg.PrezeroRate = 200000 // free memory must be zeroed faster than churn
+			return h
+		}},
+	}
+	type vmResult struct {
+		redis, mongo float64 // serve efficiency (throughput proxy)
+		pagerank, cg sim.Time
+		swapped      int64
+	}
+	results := map[string]vmResult{}
+	for _, m := range modes {
+		r, err := runFig11(o, m.mode, m.guest)
+		if err != nil {
+			return nil, err
+		}
+		results[m.label] = r
+	}
+	t := &Table{
+		ID:     "fig11",
+		Title:  "1.5x overcommitted host: throughput normalized to no-balloon",
+		Header: []string{"config", "redis", "mongodb", "pagerank", "cg.D", "swapped-pages"},
+	}
+	base := results["no-balloon"]
+	for _, m := range modes {
+		r := results[m.label]
+		t.Add(m.label,
+			fmt.Sprintf("%.2fx", safeDiv(r.redis, base.redis)),
+			fmt.Sprintf("%.2fx", safeDiv(r.mongo, base.mongo)),
+			speedup(base.pagerank, r.pagerank),
+			speedup(base.cg, r.cg),
+			r.swapped)
+	}
+	t.Note("paper: HawkEye-G gives 2.3x (Redis) and 1.42x (MongoDB) over no-balloon, within a whisker of ballooning;")
+	t.Note("PageRank degrades slightly under same-page merging (extra COW faults).")
+	return t, nil
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// runFig11 boots 4 VMs at 1.5x host memory and runs the mixed fleet.
+func runFig11(o Options, mode virt.SharingMode, guestPol func() kernel.Policy) (struct {
+	redis, mongo float64
+	pagerank, cg sim.Time
+	swapped      int64
+}, error) {
+	var out struct {
+		redis, mongo float64
+		pagerank, cg sim.Time
+		swapped      int64
+	}
+	hcfg := kernel.DefaultConfig()
+	hcfg.MemoryBytes = o.MemoryBytes
+	hcfg.Seed = o.Seed
+	h := virt.NewHost(hcfg, policy.NewLinuxTHP(), mode)
+
+	vmBytes := o.MemoryBytes * 3 / 8 // 4 × 3/8 = 1.5× host
+	vms := make([]*virt.VM, 4)
+	for i, name := range []string{"redis-vm", "mongo-vm", "pagerank-vm", "cg-vm"} {
+		vms[i] = h.AddVM(name, vmBytes, guestPol())
+	}
+
+	kvPages := vmBytes / 4096 * 85 / 100 // each store peaks near its VM size
+	serveWork := o.work(20)
+	mkKV := func() *workload.KVStore {
+		return &workload.KVStore{
+			Ops: []workload.KVOp{
+				// Churn: fill, free most of it, serve — the allocate/free mix
+				// whose free memory is worth reclaiming at the host.
+				workload.KVInsert{Keys: kvPages, ValuePages: 1, PageCost: 5},
+				workload.KVDelete{Frac: 0.7, Cluster: 64},
+				workload.KVServe{Work: serveWork},
+			},
+			QueryProfile:   kernel.AccessProfile{Locality: 0.85, CyclesPerAccess: 2000},
+			BaseThroughput: table7Throughput,
+		}
+	}
+	redisKV, mongoKV := mkKV(), mkKV()
+	redisProc := vms[0].Spawn("redis", redisKV)
+	mongoProc := vms[1].Spawn("mongodb", mongoKV)
+
+	grSpec := workload.Lookup("graph500")
+	grSpec.WorkSeconds = o.work(80)
+	pagerank := workload.New(grSpec, o.Scale*2.6) // ≈ 85% of its VM
+	prProc := vms[2].Spawn("pagerank", pagerank.Program)
+
+	cgSpec := workload.Lookup("cg.D")
+	cgSpec.WorkSeconds = o.work(80)
+	cg := workload.New(cgSpec, o.Scale*1.6) // ≈ 70% of its VM
+	cgProc := vms[3].Spawn("cg", cg.Program)
+
+	if err := h.RunUntilGuestsDone(sim.Time(o.work(20000)) * sim.Second); err != nil {
+		return out, err
+	}
+	if !redisProc.Done || !mongoProc.Done || !prProc.Done || !cgProc.Done {
+		return out, fmt.Errorf("fig11: fleet did not finish under %v", mode)
+	}
+	out.redis = redisKV.ServeEfficiency / redisProc.Runtime(h.K.Now()).Seconds()
+	out.mongo = mongoKV.ServeEfficiency / mongoProc.Runtime(h.K.Now()).Seconds()
+	// Serve efficiency alone hides swap stalls during inserts; dividing by
+	// total runtime captures end-to-end throughput per wall second.
+	out.pagerank = prProc.Runtime(h.K.Now())
+	out.cg = cgProc.Runtime(h.K.Now())
+	for _, vm := range h.VMs() {
+		out.swapped += vm.Swapped()
+	}
+	return out, nil
+}
+
+// Table9 reproduces the HawkEye-PMU vs HawkEye-G comparison of Table 9:
+// pairs of workloads with equally high access-coverage but very different
+// real MMU overheads run together on a fragmented machine. HawkEye-G's
+// coverage estimate cannot tell them apart and wastes promotions on the
+// TLB-insensitive partner; HawkEye-PMU reads the counters and targets the
+// process that actually stalls on page walks.
+func Table9(o Options) (*Table, error) {
+	sets := [][2]string{
+		{"random", "sequential"},
+		{"cg.D", "mg.D"},
+	}
+	policies := []struct {
+		name string
+		make func() kernel.Policy
+	}{
+		{"linux-4k", func() kernel.Policy { return policy.NewNone() }},
+		{"hawkeye-pmu", func() kernel.Policy { return quickHawkEye(core.VariantPMU, rateFactor(o)) }},
+		{"hawkeye-g", func() kernel.Policy { return quickHawkEye(core.VariantG, rateFactor(o)) }},
+	}
+	t := &Table{
+		ID:     "table9",
+		Title:  "HawkEye-PMU vs HawkEye-G on mixed TLB-sensitivity pairs (fragmented machine)",
+		Header: []string{"set", "policy", "sensitive-time", "insensitive-time", "total", "speedup-vs-4k"},
+	}
+	for _, set := range sets {
+		specA := workload.Lookup(set[0]) // TLB-sensitive
+		specB := workload.Lookup(set[1]) // TLB-insensitive
+		specA.WorkSeconds = o.work(specA.WorkSeconds)
+		specB.WorkSeconds = o.work(specB.WorkSeconds)
+		var baseTotal sim.Time
+		for _, pc := range policies {
+			instA := workload.New(specA, o.Scale)
+			instB := workload.New(specB, o.Scale)
+			res, _, err := runConcurrent(o, pc.make(),
+				[]*workload.Instance{instA, instB},
+				[]string{set[0], set[1]}, fragKeep, 0)
+			if err != nil {
+				return nil, err
+			}
+			total := res[0].Runtime + res[1].Runtime
+			if pc.name == "linux-4k" {
+				baseTotal = total
+			}
+			t.Add(set[0]+"+"+set[1], pc.name, res[0].Runtime, res[1].Runtime, total,
+				speedup(baseTotal, total))
+		}
+	}
+	t.Note("paper: random 582s→328s (PMU, 1.77x) vs 413s (G, 1.41x); cg.D 1952s→1202s (1.62x) vs 1450s (1.35x);")
+	t.Note("paper: set totals — PMU 1.27x/1.29x, G 1.16x/1.17x over 4 KB. PMU may beat G by up to 36%%.")
+	return t, nil
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hawkeye/internal/core"
+	"hawkeye/internal/kernel"
+	"hawkeye/internal/policy"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/vmm"
+)
+
+func init() { register("swapdemo", SwapDemo) }
+
+// SwapDemo exercises the paper testbed's SSD-backed swap partition (§4,
+// "a 96GB SSD-backed swap partition is used to evaluate performance in an
+// overcommitted system") natively: a working set 1.6× RAM is walked twice
+// under each policy. Reclaim demotes cold huge regions before paging (as
+// Linux splits THPs on the reclaim path), so huge-page policies keep their
+// fault-count advantage on the first pass while still paging at 4 KB
+// granularity afterwards.
+func SwapDemo(o Options) (*Table, error) {
+	memBytes := o.MemoryBytes / 4 // small machine: paging must actually bite
+	type cfg struct {
+		label string
+		pol   func() kernel.Policy
+	}
+	configs := []cfg{
+		{"linux-4k", func() kernel.Policy { return policy.NewNone() }},
+		{"linux-2m", func() kernel.Policy { return policy.NewLinuxTHP() }},
+		{"hawkeye-g", func() kernel.Policy { return quickHawkEye(core.VariantG, rateFactor(o)) }},
+	}
+	t := &Table{
+		ID:     "swapdemo",
+		Title:  fmt.Sprintf("1.6x-of-RAM walk with SSD swap (machine %.1f GB + equal swap)", float64(memBytes)/float64(1<<30)),
+		Header: []string{"policy", "runtime", "minor-faults", "major-faults", "swap-outs", "p99-fault(µs)"},
+	}
+	pages := memBytes / 4096 * 16 / 10
+	for _, c := range configs {
+		kcfg := kernel.DefaultConfig()
+		kcfg.MemoryBytes = memBytes
+		kcfg.SwapBytes = memBytes
+		kcfg.Seed = o.Seed
+		k := kernel.New(kcfg, c.pol())
+		p := k.Spawn("walker", &swapWalker{pages: pages, passes: 2})
+		if err := k.Run(0); err != nil {
+			return nil, err
+		}
+		if p.OOMKilled {
+			return nil, fmt.Errorf("swapdemo: %s OOM-killed despite swap", c.label)
+		}
+		t.Add(c.label,
+			p.Runtime(k.Now()),
+			p.Acct.Faults-p.Acct.MajorFaults,
+			p.Acct.MajorFaults,
+			p.VP.Stats.SwapOuts,
+			fmt.Sprintf("%.0f", p.Acct.TailLatency(0.99)))
+	}
+	t.Note("huge-page policies keep their minor-fault advantage on first touch; paging proceeds at 4 KB after reclaim")
+	t.Note("demotes cold huge regions (Linux splits THPs on reclaim). Major faults cost a 100 µs SSD read.")
+	return t, nil
+}
+
+// swapWalker touches its range sequentially for several passes.
+type swapWalker struct {
+	pages  int64
+	passes int
+	pos    int64
+}
+
+func (w *swapWalker) Step(k *kernel.Kernel, p *kernel.Proc) (sim.Time, bool, error) {
+	total := w.pages * int64(w.passes)
+	var consumed sim.Time
+	for consumed < k.Cfg.Quantum && w.pos < total {
+		c, err := k.Touch(p, vmm.VPN(w.pos%w.pages), true)
+		if err != nil {
+			return consumed, false, err
+		}
+		consumed += c + 1
+		w.pos++
+	}
+	return consumed, w.pos >= total, nil
+}

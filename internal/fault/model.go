@@ -1,0 +1,161 @@
+// Package fault defines the page-fault latency model of the simulator,
+// calibrated from Table 1 of the HawkEye paper (measured on the authors'
+// Haswell-EP system, Linux v4.3):
+//
+//	base fault, no zeroing:   2.65 µs   (handler entry, PTE setup, TLB fill)
+//	base fault + zeroing:     3.5 µs    (zeroing ≈ 25% of fault time)
+//	huge fault, no zeroing:   13 µs
+//	huge fault + zeroing:     465 µs    (zeroing ≈ 97% of fault time)
+//
+// plus derived costs for copy-on-write resolution, promotion copies and the
+// asynchronous pre-zeroing thread.
+package fault
+
+import (
+	"hawkeye/internal/mem"
+	"hawkeye/internal/metrics"
+	"hawkeye/internal/sim"
+)
+
+// Model holds the latency constants in nanoseconds (simulated time is µs;
+// sub-µs costs are accumulated in ns and converted by Cost helpers).
+type Model struct {
+	BaseFaultNs int64 // base fault excluding zeroing
+	BaseZeroNs  int64 // clearing one 4 KB page synchronously
+	HugeFaultNs int64 // huge fault excluding zeroing
+	HugeZeroNs  int64 // clearing one 2 MB block synchronously
+	CopyPageNs  int64 // copying one 4 KB page (COW break, promotion copy)
+	TLBShootNs  int64 // remote TLB shootdown per mapping change batch
+	SwapInNs    int64 // reading one page back from the SSD swap partition
+	SwapOutNs   int64 // writing one page out (charged to the reclaim daemon)
+}
+
+// Default returns the Table 1 calibration.
+func Default() Model {
+	return Model{
+		BaseFaultNs: 2650,
+		BaseZeroNs:  850,
+		HugeFaultNs: 13000,
+		HugeZeroNs:  452000,
+		CopyPageNs:  380, // ≈ 10 GB/s single-threaded copy
+		TLBShootNs:  2000,
+		SwapInNs:    100000, // SSD 4 KB random read
+		SwapOutNs:   60000,  // SSD write, partially amortized by batching
+	}
+}
+
+// Accountant accumulates fault-path time at nanosecond precision and
+// exposes it as simulated time. One Accountant per process.
+type Accountant struct {
+	model Model
+
+	FaultNs     int64 // total fault-path time
+	Faults      int64 // all faults (base + huge + COW)
+	BaseFaults  int64
+	HugeFaults  int64
+	COWFaults   int64
+	MajorFaults int64 // swap-in faults
+	ZeroedNs    int64 // portion of FaultNs spent zeroing
+
+	// Latency is the distribution of individual fault latencies in µs —
+	// the user-perceived allocation tail the paper's Table 1 and Fig. 11
+	// discussions are about.
+	Latency metrics.Histogram
+}
+
+// NewAccountant creates an accountant over the model.
+func NewAccountant(m Model) *Accountant { return &Accountant{model: m} }
+
+// Model returns the latency constants in use.
+func (a *Accountant) Model() Model { return a.model }
+
+// BaseFault charges one base-page fault; zeroed=true means the frame had to
+// be cleared synchronously. Returns the latency.
+func (a *Accountant) BaseFault(zeroed bool) sim.Time {
+	ns := a.model.BaseFaultNs
+	if zeroed {
+		ns += a.model.BaseZeroNs
+		a.ZeroedNs += a.model.BaseZeroNs
+	}
+	a.FaultNs += ns
+	a.Faults++
+	a.BaseFaults++
+	a.Latency.Observe(float64(ns) / 1000)
+	return nsToTime(ns)
+}
+
+// HugeFault charges one huge-page fault.
+func (a *Accountant) HugeFault(zeroed bool) sim.Time {
+	ns := a.model.HugeFaultNs
+	if zeroed {
+		ns += a.model.HugeZeroNs
+		a.ZeroedNs += a.model.HugeZeroNs
+	}
+	a.FaultNs += ns
+	a.Faults++
+	a.HugeFaults++
+	a.Latency.Observe(float64(ns) / 1000)
+	return nsToTime(ns)
+}
+
+// COWFault charges a copy-on-write resolution (fault + one page copy).
+func (a *Accountant) COWFault() sim.Time {
+	ns := a.model.BaseFaultNs + a.model.CopyPageNs
+	a.FaultNs += ns
+	a.Faults++
+	a.COWFaults++
+	a.Latency.Observe(float64(ns) / 1000)
+	return nsToTime(ns)
+}
+
+// MajorFault charges a swap-in (major) fault: handler entry plus the SSD
+// read.
+func (a *Accountant) MajorFault() sim.Time {
+	ns := a.model.BaseFaultNs + a.model.SwapInNs
+	a.FaultNs += ns
+	a.Faults++
+	a.MajorFaults++
+	a.Latency.Observe(float64(ns) / 1000)
+	return nsToTime(ns)
+}
+
+// FaultTime reports the accumulated fault-path time.
+func (a *Accountant) FaultTime() sim.Time { return nsToTime(a.FaultNs) }
+
+// AvgFaultTime reports mean fault latency.
+func (a *Accountant) AvgFaultTime() sim.Time {
+	if a.Faults == 0 {
+		return 0
+	}
+	return nsToTime(a.FaultNs / a.Faults)
+}
+
+// TailLatency reports the q-quantile fault latency in µs.
+func (a *Accountant) TailLatency(q float64) float64 { return a.Latency.Quantile(q) }
+
+// PromotionCopyCost returns the background cost of collapsing a region:
+// copying copied pages and zero-filling holes (skipped when the target came
+// from the pre-zeroed list), plus a TLB shootdown.
+func (m Model) PromotionCopyCost(copied, zeroFilled int) sim.Time {
+	ns := int64(copied)*m.CopyPageNs + int64(zeroFilled)*m.BaseZeroNs + m.TLBShootNs
+	return nsToTime(ns)
+}
+
+// ZeroBlockCost returns the cost of clearing 2^order pages (the pre-zero
+// thread's work, or an explicit huge-page clear).
+func (m Model) ZeroBlockCost(order int) sim.Time {
+	pages := int64(1) << order
+	return nsToTime(pages * m.BaseZeroNs)
+}
+
+// DemotionCost returns the cost of splitting a huge mapping (PTE rewrite +
+// shootdown).
+func (m Model) DemotionCost() sim.Time { return nsToTime(m.TLBShootNs + int64(mem.HugePages)*20) }
+
+func nsToTime(ns int64) sim.Time {
+	t := sim.Time(ns / 1000)
+	if ns%1000 != 0 {
+		t++
+	}
+	return t
+}

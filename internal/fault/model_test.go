@@ -1,0 +1,108 @@
+package fault
+
+import (
+	"testing"
+
+	"hawkeye/internal/sim"
+)
+
+func TestTable1Calibration(t *testing.T) {
+	a := NewAccountant(Default())
+	// Base fault with sync zeroing ≈ 3.5 µs.
+	if got := a.BaseFault(true); got < 3 || got > 4 {
+		t.Fatalf("base fault w/ zero = %v µs, want ≈ 3.5", int64(got))
+	}
+	// Base fault pre-zeroed ≈ 2.65 µs.
+	if got := a.BaseFault(false); got < 2 || got > 3 {
+		t.Fatalf("base fault w/o zero = %v µs, want ≈ 2.65", int64(got))
+	}
+	// Huge fault with sync zeroing ≈ 465 µs.
+	if got := a.HugeFault(true); got < 450 || got > 480 {
+		t.Fatalf("huge fault w/ zero = %v µs, want ≈ 465", int64(got))
+	}
+	// Huge fault pre-zeroed ≈ 13 µs.
+	if got := a.HugeFault(false); got < 12 || got > 14 {
+		t.Fatalf("huge fault w/o zero = %v µs, want ≈ 13", int64(got))
+	}
+	if a.Faults != 4 || a.BaseFaults != 2 || a.HugeFaults != 2 {
+		t.Fatalf("counters wrong: %+v", a)
+	}
+}
+
+func TestZeroingShare(t *testing.T) {
+	m := Default()
+	// Paper: zeroing is ~25% of base fault time, ~97% of huge fault time.
+	baseShare := float64(m.BaseZeroNs) / float64(m.BaseFaultNs+m.BaseZeroNs)
+	if baseShare < 0.20 || baseShare > 0.30 {
+		t.Fatalf("base zero share = %.2f, want ≈ 0.25", baseShare)
+	}
+	hugeShare := float64(m.HugeZeroNs) / float64(m.HugeFaultNs+m.HugeZeroNs)
+	if hugeShare < 0.95 || hugeShare > 0.99 {
+		t.Fatalf("huge zero share = %.2f, want ≈ 0.97", hugeShare)
+	}
+}
+
+func TestCOWFault(t *testing.T) {
+	a := NewAccountant(Default())
+	got := a.COWFault()
+	if got < 3 || got > 4 {
+		t.Fatalf("COW fault = %v µs", int64(got))
+	}
+	if a.COWFaults != 1 {
+		t.Fatal("COW not counted")
+	}
+}
+
+func TestAverages(t *testing.T) {
+	a := NewAccountant(Default())
+	if a.AvgFaultTime() != 0 {
+		t.Fatal("empty accountant avg not 0")
+	}
+	for i := 0; i < 100; i++ {
+		a.BaseFault(true)
+	}
+	if avg := a.AvgFaultTime(); avg < 3 || avg > 4 {
+		t.Fatalf("avg = %v", int64(avg))
+	}
+	if a.FaultTime() < 300*sim.Microsecond {
+		t.Fatalf("total = %v", a.FaultTime())
+	}
+}
+
+func TestBackgroundCosts(t *testing.T) {
+	m := Default()
+	// Zeroing a 2 MB block in the background ≈ 512 × 850 ns ≈ 435 µs.
+	if got := m.ZeroBlockCost(9); got < 400 || got > 470 {
+		t.Fatalf("zero block cost = %v", int64(got))
+	}
+	// Promotion of a fully-populated region is dominated by the 2 MB copy.
+	full := m.PromotionCopyCost(512, 0)
+	if full < 150 || full > 300 {
+		t.Fatalf("full promotion copy = %v µs", int64(full))
+	}
+	// Zero-filling holes costs extra when the block was not pre-zeroed.
+	withHoles := m.PromotionCopyCost(256, 256)
+	if withHoles <= m.PromotionCopyCost(256, 0) {
+		t.Fatal("hole zero-fill not charged")
+	}
+	if m.DemotionCost() <= 0 {
+		t.Fatal("demotion must cost something")
+	}
+}
+
+func TestLatencyHistogramTail(t *testing.T) {
+	a := NewAccountant(Default())
+	for i := 0; i < 99; i++ {
+		a.BaseFault(false) // 2.65 µs
+	}
+	a.HugeFault(true) // 465 µs
+	if p50 := a.TailLatency(0.5); p50 > 8 {
+		t.Fatalf("p50 = %v µs, want ≈ 3", p50)
+	}
+	if p995 := a.TailLatency(0.995); p995 < 400 {
+		t.Fatalf("p99.5 = %v µs, must capture the sync-zeroed huge fault", p995)
+	}
+	if a.Latency.Count() != 100 {
+		t.Fatalf("latency samples = %d", a.Latency.Count())
+	}
+}

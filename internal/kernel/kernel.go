@@ -1,0 +1,409 @@
+// Package kernel ties the simulator's substrates together into an
+// operating-system model: it owns the discrete-event engine, the physical
+// allocator, the content store, the virtual-memory layer and the TLB, runs
+// simulated processes (Programs), resolves page faults through a pluggable
+// huge-page Policy, and maintains the per-process PMU counters from which
+// MMU overheads are measured.
+package kernel
+
+import (
+	"fmt"
+
+	"hawkeye/internal/content"
+	"hawkeye/internal/fault"
+	"hawkeye/internal/mem"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/tlb"
+	"hawkeye/internal/vmm"
+)
+
+// CyclesPerMicro is the simulated core frequency (2.3 GHz Haswell-EP).
+const CyclesPerMicro = 2300.0
+
+// Config describes one simulated machine.
+type Config struct {
+	MemoryBytes int64      // DRAM size
+	TLB         tlb.Config // translation hardware
+	Fault       fault.Model
+	Quantum     sim.Time // default scheduling quantum for programs
+	Seed        uint64
+	// SamplesPerQuantum controls the TLB-simulation sampling density of
+	// SteadyRun.
+	SamplesPerQuantum int
+	// Engine, when non-nil, co-simulates this kernel on an existing engine
+	// (guest machines share the host's clock). Kernels on a shared engine
+	// never auto-stop it.
+	Engine *sim.Engine
+	// SwapBytes sizes the SSD-backed swap partition (0 = no swap). With
+	// swap, anonymous-allocation failures page out cold base pages instead
+	// of OOM-killing, and touching a swapped page costs a major fault.
+	SwapBytes int64
+}
+
+// DefaultConfig returns an 8 GB machine (the paper's 96 GB host at 1/12
+// scale) with Haswell-EP translation hardware.
+func DefaultConfig() Config {
+	return Config{
+		MemoryBytes:       8 << 30,
+		TLB:               tlb.HaswellEP(),
+		Fault:             fault.Default(),
+		Quantum:           100 * sim.Millisecond,
+		Seed:              1,
+		SamplesPerQuantum: 512,
+	}
+}
+
+// Decision is a policy's answer to "how should this fault be mapped?".
+type Decision int
+
+// Fault-time mapping decisions.
+const (
+	// DecideBase maps a single 4 KB page.
+	DecideBase Decision = iota
+	// DecideHuge maps the whole 2 MB region with a huge page (falls back to
+	// base if no contiguous block is available).
+	DecideHuge
+	// DecideReserve reserves a 2 MB physical block for the region and maps
+	// a 4 KB page from it in place (FreeBSD-style; falls back to base).
+	DecideReserve
+)
+
+// Policy chooses fault-time page sizes and runs background promotion
+// machinery. Attach is called once, when the kernel is created, and is
+// where a policy schedules its daemons on the engine.
+type Policy interface {
+	Name() string
+	Attach(k *Kernel)
+	OnFault(k *Kernel, p *Proc, r *vmm.Region, vpn vmm.VPN) Decision
+}
+
+// Proc is a simulated process: an address space plus execution state.
+type Proc struct {
+	VP   *vmm.Process
+	PMU  tlb.PMU
+	Acct *fault.Accountant
+
+	Program Program
+	Nested  bool // translations go through nested paging (guest process)
+	// NestedDiscount scales nested walk cost below the worst case when the
+	// host maps this guest's physical memory with huge pages (set by the
+	// virtualization layer; 0 means 1.0).
+	NestedDiscount float64
+	// VM groups guest processes of the same virtual machine (nil = native).
+	VM *VM
+
+	StartedAt  sim.Time
+	FinishedAt sim.Time
+	Done       bool
+	OOMKilled  bool
+
+	// WorkDone accumulates useful work in simulated seconds (excludes fault
+	// stalls and MMU overhead); programs use it to track progress.
+	WorkDone float64
+
+	rng *sim.Rand
+}
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.VP.Name }
+
+// PID returns the process id.
+func (p *Proc) PID() int { return p.VP.PID }
+
+// Rand returns the process-private RNG stream.
+func (p *Proc) Rand() *sim.Rand { return p.rng }
+
+// Runtime reports wall-clock runtime (so far, or final when Done).
+func (p *Proc) Runtime(now sim.Time) sim.Time {
+	if p.Done {
+		return p.FinishedAt - p.StartedAt
+	}
+	return now - p.StartedAt
+}
+
+// Program is the workload code of a process. Step performs a bounded amount
+// of work through the kernel API and returns how much simulated time it
+// consumed; the kernel reschedules the next step after that interval.
+type Program interface {
+	Step(k *Kernel, p *Proc) (consumed sim.Time, done bool, err error)
+}
+
+// Kernel is one simulated machine image.
+type Kernel struct {
+	Cfg     Config
+	Engine  *sim.Engine
+	Alloc   *mem.Allocator
+	Content *content.Store
+	VMM     *vmm.VMM
+	TLB     *tlb.TLB
+	Rec     *sim.Recorder
+	Policy  Policy
+
+	procs        []*Proc
+	sharedEngine bool
+
+	// SlowdownFactor multiplies effective MMU-and-cache overhead observed
+	// by programs; the pre-zeroing thread raises it when running with
+	// cache-polluting (temporal) stores (Fig. 10).
+	SlowdownFactor float64
+
+	// Daemon (background kernel thread) accounting.
+	DaemonTime  sim.Time // total background CPU time consumed
+	PrezeroTime sim.Time
+	BloatTime   sim.Time
+	PromoteTime sim.Time
+
+	// OOMs counts processes killed for lack of memory.
+	OOMs int
+
+	// Swap is the optional swap device (nil without Config.SwapBytes).
+	Swap *vmm.SwapDevice
+	// SwapOutTime accumulates the reclaim daemon's page-out cost.
+	SwapOutTime sim.Time
+	swapCursor  int // round-robin victim-selection cursor
+}
+
+// New builds a machine with the given policy attached.
+func New(cfg Config, pol Policy) *Kernel {
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 100 * sim.Millisecond
+	}
+	if cfg.SamplesPerQuantum <= 0 {
+		cfg.SamplesPerQuantum = 512
+	}
+	eng := cfg.Engine
+	shared := eng != nil
+	if eng == nil {
+		eng = sim.NewEngine(cfg.Seed)
+	}
+	alloc := mem.NewAllocator(cfg.MemoryBytes)
+	swapSlots := cfg.SwapBytes / mem.PageSize
+	store := content.NewStore(alloc.TotalPages()+swapSlots, eng.Rand.Fork())
+	k := &Kernel{
+		Cfg:            cfg,
+		Engine:         eng,
+		Alloc:          alloc,
+		Content:        store,
+		VMM:            vmm.New(alloc, store),
+		TLB:            tlb.New(cfg.TLB),
+		Rec:            sim.NewRecorder(&eng.Clock),
+		Policy:         pol,
+		SlowdownFactor: 1,
+		sharedEngine:   shared,
+	}
+	if swapSlots > 0 {
+		k.Swap = vmm.NewSwapDevice(mem.FrameID(alloc.TotalPages()), swapSlots)
+		k.VMM.Swap = k.Swap
+	}
+	if pol != nil {
+		pol.Attach(k)
+	}
+	k.startKcompactd()
+	return k
+}
+
+// startKcompactd runs the background compaction daemon every kernel has
+// (Linux's kcompactd): while free memory is plentiful but huge-page-sized
+// blocks are scarce, rebuild a few. This keeps the fragmentation index low
+// on lightly-loaded machines, which is what lets both Linux's THP fault
+// path and Ingens' aggressive phase find contiguity after churn.
+func (k *Kernel) startKcompactd() {
+	k.Engine.Every(2*sim.Second, "kcompactd", func(*sim.Engine) (bool, error) {
+		if k.Alloc.FreePages()*4 < k.Alloc.TotalPages() {
+			return true, nil // tight on memory: compaction won't help
+		}
+		if k.Alloc.HugePageCapacity() >= 16 {
+			return true, nil
+		}
+		k.Alloc.Compact(8)
+		return true, nil
+	})
+}
+
+// Now returns current simulated time.
+func (k *Kernel) Now() sim.Time { return k.Engine.Now() }
+
+// Procs returns every process ever spawned, in spawn order.
+func (k *Kernel) Procs() []*Proc { return k.procs }
+
+// LiveProcs returns processes that are neither done nor dead.
+func (k *Kernel) LiveProcs() []*Proc {
+	out := make([]*Proc, 0, len(k.procs))
+	for _, p := range k.procs {
+		if !p.Done && !p.VP.Dead {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Spawn creates a process running prog and schedules its first step.
+func (k *Kernel) Spawn(name string, prog Program) *Proc {
+	p := &Proc{
+		VP:        k.VMM.NewProcess(name),
+		Acct:      fault.NewAccountant(k.Cfg.Fault),
+		Program:   prog,
+		StartedAt: k.Now(),
+		rng:       k.Engine.Rand.Fork(),
+	}
+	k.procs = append(k.procs, p)
+	k.scheduleStep(p, 0)
+	return p
+}
+
+// SpawnAt schedules the process to start after a delay.
+func (k *Kernel) SpawnAt(delay sim.Time, name string, prog Program) *Proc {
+	p := &Proc{
+		VP:      k.VMM.NewProcess(name),
+		Acct:    fault.NewAccountant(k.Cfg.Fault),
+		Program: prog,
+		rng:     k.Engine.Rand.Fork(),
+	}
+	k.procs = append(k.procs, p)
+	k.Engine.AfterFunc(delay, "spawn:"+name, func(*sim.Engine) error {
+		p.StartedAt = k.Now()
+		k.stepOnce(p)
+		return nil
+	})
+	return p
+}
+
+func (k *Kernel) scheduleStep(p *Proc, after sim.Time) {
+	k.Engine.AfterFunc(after, "step:"+p.VP.Name, func(*sim.Engine) error {
+		k.stepOnce(p)
+		return nil
+	})
+}
+
+func (k *Kernel) stepOnce(p *Proc) {
+	if p.Done || p.VP.Dead {
+		return
+	}
+	consumed, done, err := p.Program.Step(k, p)
+	if err != nil {
+		// Out of memory (or a program bug): the process is killed, its
+		// memory released. Experiments observe OOMKilled.
+		p.OOMKilled = true
+		p.Done = true
+		p.FinishedAt = k.Now()
+		k.OOMs++
+		k.VMM.Exit(p.VP)
+		k.TLB.InvalidateProcess(int32(p.VP.PID))
+		k.stopIfIdle()
+		return
+	}
+	if done {
+		p.Done = true
+		p.FinishedAt = k.Now() + consumed
+		k.stopIfIdle()
+		return
+	}
+	if consumed < sim.Microsecond {
+		consumed = sim.Microsecond
+	}
+	k.scheduleStep(p, consumed)
+}
+
+// stopIfIdle halts the engine once no program remains runnable — policy
+// daemons reschedule themselves forever, so without this the event queue
+// would never drain.
+func (k *Kernel) stopIfIdle() {
+	if k.sharedEngine {
+		return
+	}
+	if len(k.LiveProcs()) == 0 {
+		k.Engine.Stop()
+	}
+}
+
+// Run drives the machine until the deadline (0 = until idle).
+func (k *Kernel) Run(deadline sim.Time) error { return k.Engine.Run(deadline) }
+
+// RunUntilDone drives the machine until every spawned program finished, or
+// the hard deadline passes. It returns an error if the deadline fired with
+// programs still running.
+func (k *Kernel) RunUntilDone(deadline sim.Time) error {
+	check := func(e *sim.Engine) (bool, error) { return len(k.LiveProcs()) > 0, nil }
+	k.Engine.Every(sim.Second, "done-check", check)
+	if err := k.Engine.Run(deadline); err != nil {
+		return err
+	}
+	if left := len(k.LiveProcs()); left > 0 && deadline > 0 && k.Now() >= deadline {
+		return fmt.Errorf("kernel: deadline %v reached with %d programs running", deadline, left)
+	}
+	return nil
+}
+
+// UsedFraction reports allocated/total memory.
+func (k *Kernel) UsedFraction() float64 { return k.Alloc.UsedFraction() }
+
+// FragmentMemory shatters physical contiguity the way the paper does before
+// its recovery experiments (reading many files): it fills all of memory
+// with page-cache pages, then drops most of them, keeping a resident cache
+// page every few frames so that no huge-page-sized free block survives
+// anywhere. keep is the fraction of memory left as resident page cache
+// (e.g. 0.1); the cache pages are reclaimable under pressure but destroy
+// contiguity until reclaimed or compacted.
+func (k *Kernel) FragmentMemory(keep float64) {
+	k.FragmentMemoryPinned(keep, 0.35)
+}
+
+// FragmentMemoryPinned is FragmentMemory with explicit control over the
+// fraction of 2 MB chunks that receive a permanently unmovable kernel page
+// (slab/pinned allocations): those chunks can never be rebuilt into huge
+// pages, no matter how much page cache is reclaimed or memory compacted —
+// the persistent component of real-world fragmentation.
+func (k *Kernel) FragmentMemoryPinned(keep, pinnedChunkFrac float64) {
+	if keep <= 0 {
+		keep = 0.05
+	}
+	if keep > 0.9 {
+		keep = 0.9
+	}
+	stride := int(1 / keep)
+	if stride < 2 {
+		stride = 2
+	}
+	var blocks []mem.Block
+	for {
+		blk, err := k.Alloc.Alloc(0, mem.PreferNonZero, mem.TagFile)
+		if err != nil {
+			break
+		}
+		blocks = append(blocks, blk)
+	}
+	// Decide which chunks get a kernel pin, deterministically from the seed.
+	rng := k.Engine.Rand.Fork()
+	totalChunks := k.Alloc.TotalPages() >> mem.HugeOrder
+	pinned := make(map[int64]bool, totalChunks)
+	for c := int64(0); c < totalChunks; c++ {
+		if rng.Float64() < pinnedChunkFrac {
+			pinned[c] = true
+		}
+	}
+	pinDone := make(map[int64]bool, len(pinned))
+	for i, blk := range blocks {
+		chunk := int64(blk.Head) >> mem.HugeOrder
+		if i%stride != stride-1 {
+			k.Alloc.Free(blk.Head, 0, true)
+			continue
+		}
+		if pinned[chunk] && !pinDone[chunk] {
+			// Convert this resident cache page into an unmovable kernel
+			// allocation: free it and immediately re-allocate... the buddy
+			// would hand back a different frame, so retag it in place.
+			k.Alloc.RetagFrame(blk.Head, mem.TagKernel)
+			pinDone[chunk] = true
+		}
+	}
+}
+
+// --- VM grouping (used by the virt layer) --------------------------------
+
+// VM tags a group of guest processes with a shared memory budget; the virt
+// package builds on this.
+type VM struct {
+	Name   string
+	Budget int64 // pages
+	Used   int64 // pages charged to this VM at the host
+}

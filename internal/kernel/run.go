@@ -1,0 +1,143 @@
+package kernel
+
+import (
+	"hawkeye/internal/sim"
+	"hawkeye/internal/tlb"
+	"hawkeye/internal/vmm"
+)
+
+// AccessProfile characterizes a workload phase's interaction with the
+// translation hardware.
+type AccessProfile struct {
+	// Locality drives the page-walk cost model: 0 = sequential/strided
+	// (walks absorbed by paging-structure caches), 1 = uniform random over
+	// a large footprint (walks go to DRAM).
+	Locality tlb.Locality
+	// CyclesPerAccess is the average non-translation work between two
+	// TLB-relevant memory accesses; it converts walk cycles into an
+	// overhead fraction, and differs per workload (compute-heavy kernels
+	// have large values, pointer chasers small ones).
+	CyclesPerAccess float64
+}
+
+// AccessSampler produces a representative stream of virtual page accesses
+// for a workload's current phase.
+type AccessSampler interface {
+	Sample(r *sim.Rand) (vpn vmm.VPN, write bool)
+	Profile() AccessProfile
+}
+
+// SteadyResult reports one SteadyRun quantum.
+type SteadyResult struct {
+	Consumed    sim.Time // simulated time used (dur + fault stalls)
+	WorkSeconds float64  // useful work completed, in seconds
+	MMUOverhead float64  // fraction of cycles spent in page walks
+}
+
+// SteadyRun executes dur of steady-state workload time: it samples the
+// address stream through the TLB model, computes the MMU overhead exactly
+// as the PMU methodology of Table 4 does (walk cycles / total cycles),
+// charges the process PMU, and converts the remainder into useful work.
+// Faults encountered by sampled accesses (lazy population, COW refaults
+// after dedup) are resolved and charged.
+func (k *Kernel) SteadyRun(p *Proc, dur sim.Time, s AccessSampler) (SteadyResult, error) {
+	var res SteadyResult
+	if dur <= 0 {
+		return res, nil
+	}
+	samples := k.Cfg.SamplesPerQuantum
+	if samples < 64 {
+		samples = 64
+	}
+	prof := s.Profile()
+	pid := int32(p.VP.PID)
+	var walkTotal float64
+	var faultCost sim.Time
+	for i := 0; i < samples; i++ {
+		vpn, write := s.Sample(p.rng)
+		c, err := k.touch(p, vpn, write, 0, false)
+		if err != nil {
+			return res, err
+		}
+		faultCost += c
+		pte, huge, present := p.VP.Lookup(vpn)
+		_ = pte
+		if !present {
+			continue
+		}
+		page := int64(vpn)
+		if huge {
+			page = int64(vmm.RegionOf(vpn))
+		}
+		switch k.TLB.Access(pid, page, huge) {
+		case tlb.HitL1:
+		case tlb.HitL2:
+			walkTotal += float64(k.Cfg.TLB.L2HitCycles)
+		case tlb.Miss:
+			w := k.TLB.WalkCycles(prof.Locality, huge, p.Nested)
+			if p.Nested && p.NestedDiscount > 0 {
+				w *= p.NestedDiscount
+			}
+			walkTotal += w
+		}
+	}
+	avgWalk := walkTotal / float64(samples)
+	overhead := avgWalk / (prof.CyclesPerAccess + avgWalk)
+
+	totalCycles := float64(dur) * CyclesPerMicro
+	p.PMU.Add(overhead*totalCycles, totalCycles)
+
+	slow := k.SlowdownFactor
+	if slow < 1 {
+		slow = 1
+	}
+	work := dur.Seconds() * (1 - overhead) / slow
+	p.WorkDone += work
+
+	res.Consumed = dur + faultCost
+	res.WorkSeconds = work
+	res.MMUOverhead = overhead
+	return res, nil
+}
+
+// EstimateMMUOverhead probes the TLB model with the sampler without
+// advancing work or charging the PMU — a cheap "what would the overhead be
+// right now" oracle used by experiments and tests. The TLB state is
+// perturbed exactly as a real measurement would perturb it.
+func (k *Kernel) EstimateMMUOverhead(p *Proc, s AccessSampler, samples int) float64 {
+	if samples <= 0 {
+		samples = k.Cfg.SamplesPerQuantum
+	}
+	prof := s.Profile()
+	pid := int32(p.VP.PID)
+	var walkTotal float64
+	counted := 0
+	for i := 0; i < samples; i++ {
+		vpn, _ := s.Sample(p.rng)
+		_, huge, present := p.VP.Lookup(vpn)
+		if !present {
+			continue
+		}
+		counted++
+		page := int64(vpn)
+		if huge {
+			page = int64(vmm.RegionOf(vpn))
+		}
+		switch k.TLB.Access(pid, page, huge) {
+		case tlb.HitL1:
+		case tlb.HitL2:
+			walkTotal += float64(k.Cfg.TLB.L2HitCycles)
+		case tlb.Miss:
+			w := k.TLB.WalkCycles(prof.Locality, huge, p.Nested)
+			if p.Nested && p.NestedDiscount > 0 {
+				w *= p.NestedDiscount
+			}
+			walkTotal += w
+		}
+	}
+	if counted == 0 {
+		return 0
+	}
+	avgWalk := walkTotal / float64(counted)
+	return avgWalk / (prof.CyclesPerAccess + avgWalk)
+}

@@ -1,0 +1,169 @@
+package kernel
+
+import (
+	"testing"
+
+	"hawkeye/internal/mem"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/vmm"
+)
+
+func newSwapKernel(t testing.TB, memMB, swapMB int64, d Decision) *Kernel {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.MemoryBytes = memMB << 20
+	cfg.SwapBytes = swapMB << 20
+	return New(cfg, &testPolicy{decision: d})
+}
+
+// coldWalker touches a range larger than RAM, making earlier pages cold as
+// it advances — the canonical swap workload.
+type coldWalker struct {
+	pages int64
+	next  int64
+}
+
+func (w *coldWalker) Step(k *Kernel, p *Proc) (sim.Time, bool, error) {
+	var consumed sim.Time
+	for i := 0; i < 512 && w.next < w.pages; i++ {
+		c, err := k.Touch(p, vmm.VPN(w.next), true)
+		if err != nil {
+			return consumed, false, err
+		}
+		consumed += c
+		w.next++
+	}
+	// Age the working set so reclaim sees cold pages.
+	if w.next%4096 == 0 {
+		for _, r := range p.VP.RegionsInOrder() {
+			if vmm.RegionIndex(w.next>>mem.HugeOrder) > r.Index+2 {
+				r.ClearAccessBits()
+			}
+		}
+	}
+	return consumed, w.next >= w.pages, nil
+}
+
+func TestSwapAllowsOvercommit(t *testing.T) {
+	// 16 MB RAM + 64 MB swap: a 40 MB walk must complete without OOM.
+	k := newSwapKernel(t, 16, 64, DecideBase)
+	p := k.Spawn("walker", &coldWalker{pages: 10240})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.OOMKilled {
+		t.Fatal("OOM-killed despite swap")
+	}
+	if !p.Done {
+		t.Fatal("walker did not finish")
+	}
+	if p.VP.Stats.SwapOuts == 0 {
+		t.Fatal("nothing was swapped out")
+	}
+	if k.Swap.Used() == 0 {
+		t.Fatal("swap device unused")
+	}
+	if k.SwapOutTime == 0 {
+		t.Fatal("swap-out cost not charged")
+	}
+}
+
+func TestSwapWithoutDeviceStillOOMs(t *testing.T) {
+	k := newSwapKernel(t, 16, 0, DecideBase)
+	p := k.Spawn("walker", &coldWalker{pages: 10240})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !p.OOMKilled {
+		t.Fatal("overcommit without swap must OOM")
+	}
+}
+
+func TestSwapRoundTripPreservesContent(t *testing.T) {
+	k := newSwapKernel(t, 16, 64, DecideBase)
+	p := k.Spawn("idle", &touchRange{start: 0, end: 1})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// Write page 0, record its signature, force it out, touch it back in.
+	if _, err := k.Touch(p, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	r := p.VP.Region(0)
+	sigBefore := k.Content.Get(r.PTEs[0].Frame)
+	r.ClearAccessBits()
+	if !k.VMM.SwapOutBase(p.VP, r, 0, k.Swap) {
+		t.Fatal("swap-out refused")
+	}
+	if !r.PTEs[0].Swapped() {
+		t.Fatal("PTE not marked swapped")
+	}
+	majorBefore := p.Acct.MajorFaults
+	cost, err := k.Touch(p, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Acct.MajorFaults != majorBefore+1 {
+		t.Fatal("swap-in not charged as a major fault")
+	}
+	// SSD read ≈ 100 µs dominates the major fault.
+	if cost < 90 || cost > 120 {
+		t.Fatalf("major fault cost = %v µs, want ≈ 103", int64(cost))
+	}
+	sigAfter := k.Content.Get(r.PTEs[0].Frame)
+	if sigBefore != sigAfter {
+		t.Fatalf("content lost across swap: %+v vs %+v", sigBefore, sigAfter)
+	}
+	if k.Swap.Used() != 0 {
+		t.Fatalf("slot not recycled: used=%d", k.Swap.Used())
+	}
+}
+
+func TestMadviseDropsSwapSlots(t *testing.T) {
+	k := newSwapKernel(t, 16, 64, DecideBase)
+	p := k.Spawn("w", &touchRange{start: 0, end: 100})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	r := p.VP.Region(0)
+	r.ClearAccessBits()
+	for slot := 0; slot < 100; slot++ {
+		k.VMM.SwapOutBase(p.VP, r, slot, k.Swap)
+	}
+	if k.Swap.Used() != 100 {
+		t.Fatalf("setup: %d slots used", k.Swap.Used())
+	}
+	k.Madvise(p, 0, 100)
+	if k.Swap.Used() != 0 {
+		t.Fatalf("madvise leaked %d swap slots", k.Swap.Used())
+	}
+}
+
+func TestExitReleasesSwapSlots(t *testing.T) {
+	k := newSwapKernel(t, 16, 64, DecideBase)
+	p := k.Spawn("w", &touchRange{start: 0, end: 50})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	r := p.VP.Region(0)
+	r.ClearAccessBits()
+	for slot := 0; slot < 50; slot++ {
+		k.VMM.SwapOutBase(p.VP, r, slot, k.Swap)
+	}
+	k.VMM.Exit(p.VP)
+	if k.Swap.Used() != 0 {
+		t.Fatalf("exit leaked %d swap slots", k.Swap.Used())
+	}
+}
+
+func TestSwapFullFallsBackToOOM(t *testing.T) {
+	// 16 MB RAM + 4 MB swap cannot hold a 40 MB walk.
+	k := newSwapKernel(t, 16, 4, DecideBase)
+	p := k.Spawn("walker", &coldWalker{pages: 10240})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !p.OOMKilled {
+		t.Fatal("must OOM once RAM and swap are both full")
+	}
+}

@@ -1,0 +1,297 @@
+package kernel
+
+import (
+	"fmt"
+
+	"hawkeye/internal/mem"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/vmm"
+)
+
+// Touch performs one memory access at vpn, resolving any fault through the
+// policy. It returns the latency charged to the process. ErrOOM is returned
+// when physical memory is exhausted.
+func (k *Kernel) Touch(p *Proc, vpn vmm.VPN, write bool) (sim.Time, error) {
+	return k.touch(p, vpn, write, 0, false)
+}
+
+// TouchShared is Touch for writes of logically shared content (same key ⇒
+// identical bytes; KSM can merge such pages across processes/VMs).
+func (k *Kernel) TouchShared(p *Proc, vpn vmm.VPN, key uint64) (sim.Time, error) {
+	return k.touch(p, vpn, true, key, true)
+}
+
+func (k *Kernel) touch(p *Proc, vpn vmm.VPN, write bool, key uint64, shared bool) (sim.Time, error) {
+	var cost sim.Time
+	for attempt := 0; attempt < 3; attempt++ {
+		var res vmm.TouchResult
+		if shared {
+			res = k.VMM.AccessShared(p.VP, vpn, key)
+		} else {
+			res = k.VMM.Access(p.VP, vpn, write)
+		}
+		switch res {
+		case vmm.TouchOK:
+			return cost, nil
+		case vmm.TouchFault:
+			c, err := k.handleFault(p, vpn)
+			if err != nil {
+				return cost, err
+			}
+			cost += c
+		case vmm.TouchCOW:
+			c, err := k.handleCOW(p, vpn)
+			if err != nil {
+				return cost, err
+			}
+			cost += c
+		}
+	}
+	panic(fmt.Sprintf("kernel: touch of pid %d vpn %d did not settle", p.VP.PID, vpn))
+}
+
+// handleFault resolves a missing mapping according to the policy decision.
+func (k *Kernel) handleFault(p *Proc, vpn vmm.VPN) (sim.Time, error) {
+	r := p.VP.EnsureRegion(vmm.RegionOf(vpn))
+	slot := vmm.SlotOf(vpn)
+
+	// Major fault: the page lives on the swap device.
+	if k.Swap != nil && r.PTEs[slot].Swapped() {
+		blk, err := k.allocBaseWithReclaim()
+		if err != nil {
+			return 0, fmt.Errorf("swap-in at pid %d vpn %d: %w", p.VP.PID, vpn, err)
+		}
+		k.VMM.SwapInBase(p.VP, r, slot, blk.Head, k.Swap)
+		cost := p.Acct.MajorFault()
+		if p.Nested {
+			cost = nestedFaultCost(cost)
+		}
+		return cost, nil
+	}
+
+	// A reservation already covers this region: fill the slot in place.
+	if r.Reserved {
+		frame := r.ReservedBlock.Head + mem.FrameID(slot)
+		needZero := !k.Alloc.FrameZeroed(frame)
+		k.zeroFrame(frame)
+		k.VMM.MapBase(p.VP, r, slot, frame)
+		return k.chargeFault(p, false, needZero), nil
+	}
+
+	decision := DecideBase
+	// Huge mappings and reservations only apply to empty regions (an empty
+	// PMD in Linux terms); once any base page exists the region fills with
+	// base pages until a daemon collapses it.
+	if k.Policy != nil && r.Populated() == 0 {
+		decision = k.Policy.OnFault(k, p, r, vpn)
+	}
+
+	switch decision {
+	case DecideHuge:
+		if blk, ok := k.Alloc.AllocOpportunistic(mem.HugeOrder, mem.PreferZero, mem.TagAnon); ok {
+			needZero := !blk.Zeroed
+			k.zeroBlock(blk.Head, mem.HugeOrder, blk.Zeroed)
+			k.VMM.MapHuge(p.VP, r, blk.Head)
+			return k.chargeFault(p, true, needZero), nil
+		}
+		// No contiguity: fall through to a base mapping.
+	case DecideReserve:
+		if blk, ok := k.Alloc.AllocOpportunistic(mem.HugeOrder, mem.PreferZero, mem.TagAnon); ok {
+			k.VMM.Reserve(r, blk)
+			frame := blk.Head + mem.FrameID(slot)
+			needZero := !blk.Zeroed
+			k.zeroFrame(frame)
+			k.VMM.MapBase(p.VP, r, slot, frame)
+			return k.chargeFault(p, false, needZero), nil
+		}
+		// No contiguity: plain base page.
+	}
+
+	blk, err := k.allocBaseWithReclaim()
+	if err != nil {
+		return 0, fmt.Errorf("fault at pid %d vpn %d: %w", p.VP.PID, vpn, err)
+	}
+	needZero := !blk.Zeroed
+	k.zeroFrame(blk.Head)
+	k.VMM.MapBase(p.VP, r, slot, blk.Head)
+	return k.chargeFault(p, false, needZero), nil
+}
+
+// allocBaseWithReclaim allocates one anonymous base frame; when the
+// allocator is exhausted and a swap device exists, it pages out cold base
+// pages (kswapd's direct-reclaim role) and retries before giving up.
+func (k *Kernel) allocBaseWithReclaim() (mem.Block, error) {
+	blk, err := k.Alloc.Alloc(0, mem.PreferZero, mem.TagAnon)
+	if err == nil || k.Swap == nil {
+		return blk, err
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		if k.swapOutPages(64) == 0 {
+			break
+		}
+		if blk, err = k.Alloc.Alloc(0, mem.PreferZero, mem.TagAnon); err == nil {
+			return blk, nil
+		}
+	}
+	return blk, err
+}
+
+// swapOutPages evicts up to n cold private base pages to the swap device,
+// round-robin across processes, demoting cold huge regions when no base
+// pages remain. Returns pages actually evicted.
+func (k *Kernel) swapOutPages(n int) int {
+	if k.Swap == nil {
+		return 0
+	}
+	procs := k.VMM.Processes()
+	if len(procs) == 0 {
+		return 0
+	}
+	evicted := 0
+	// Two sweeps implement the classic clock algorithm: the first encounter
+	// with a recently-accessed page clears its bit (second chance), the
+	// next encounter evicts it.
+	for sweep := 0; sweep < 2*len(procs) && evicted < n; sweep++ {
+		k.swapCursor = (k.swapCursor + 1) % len(procs)
+		victim := procs[k.swapCursor]
+		for _, r := range victim.RegionsInOrder() {
+			if evicted >= n {
+				break
+			}
+			if r.Huge {
+				// Huge regions age as a unit; a cold one is demoted so its
+				// base pages become evictable on the next sweep.
+				if r.HugeAccessed() {
+					r.ClearAccessBits()
+					continue
+				}
+				k.VMM.Demote(victim, r)
+				k.TLB.InvalidateRegion(int32(victim.PID), int64(r.Index))
+				r.ClearAccessBits()
+				continue
+			}
+			for slot := 0; slot < mem.HugePages && evicted < n; slot++ {
+				e := r.PTEs[slot]
+				if !e.Present() || e.COW() {
+					continue
+				}
+				if e.Accessed() {
+					r.ClearAccessBit(slot)
+					continue
+				}
+				if k.VMM.SwapOutBase(victim, r, slot, k.Swap) {
+					evicted++
+					k.SwapOutTime += sim.Time(k.Cfg.Fault.SwapOutNs / 1000)
+				}
+			}
+		}
+	}
+	return evicted
+}
+
+// handleCOW breaks a copy-on-write mapping with a fresh private frame.
+func (k *Kernel) handleCOW(p *Proc, vpn vmm.VPN) (sim.Time, error) {
+	r := p.VP.Region(vmm.RegionOf(vpn))
+	// The new frame's contents are overwritten by the copy, so zeroed
+	// frames would be wasted on it.
+	blk, err := k.Alloc.Alloc(0, mem.PreferNonZero, mem.TagAnon)
+	if err != nil {
+		return 0, fmt.Errorf("COW at pid %d vpn %d: %w", p.VP.PID, vpn, err)
+	}
+	k.VMM.BreakCOW(p.VP, r, vmm.SlotOf(vpn), blk.Head)
+	cost := p.Acct.COWFault()
+	if p.Nested {
+		cost = nestedFaultCost(cost)
+	}
+	return cost, nil
+}
+
+// chargeFault books fault latency, including the nested-paging surcharge
+// for guest processes.
+func (k *Kernel) chargeFault(p *Proc, huge, zeroed bool) sim.Time {
+	var cost sim.Time
+	if huge {
+		cost = p.Acct.HugeFault(zeroed)
+		p.VP.Stats.HugeFaults++
+	} else {
+		cost = p.Acct.BaseFault(zeroed)
+		p.VP.Stats.BaseFaults++
+	}
+	if p.Nested {
+		cost = nestedFaultCost(cost)
+	}
+	return cost
+}
+
+// nestedFaultCost adds the two-dimensional fault overhead of virtualized
+// page faults (VM exits, nested walks): ≈ 30% extra.
+func nestedFaultCost(c sim.Time) sim.Time { return c + (c*3+9)/10 }
+
+// zeroFrame clears one frame's content (bookkeeping only; latency is the
+// caller's concern).
+func (k *Kernel) zeroFrame(f mem.FrameID) {
+	k.Content.SetZero(f)
+	k.Alloc.MarkZeroed(f)
+}
+
+// zeroBlock clears a block unless it was pre-zeroed.
+func (k *Kernel) zeroBlock(head mem.FrameID, order int, alreadyZero bool) {
+	if alreadyZero {
+		return
+	}
+	n := mem.FrameID(1) << order
+	for i := mem.FrameID(0); i < n; i++ {
+		k.zeroFrame(head + i)
+	}
+}
+
+// Madvise releases a range of pages (MADV_DONTNEED) and returns its cost.
+func (k *Kernel) Madvise(p *Proc, start vmm.VPN, pages int64) sim.Time {
+	released := k.VMM.DontNeed(p.VP, start, pages)
+	k.TLB.InvalidateProcess(int32(p.VP.PID))
+	// ~0.15 µs per released page (zap + free) plus a shootdown.
+	return sim.Time(released*150/1000) + 2
+}
+
+// --- background (daemon) operations --------------------------------------
+
+// PromoteRegion collapses a region into a huge page on behalf of a
+// background daemon. It returns false when no huge block is available and
+// no amount of compaction helped.
+func (k *Kernel) PromoteRegion(p *Proc, r *vmm.Region) (sim.Time, bool) {
+	if r.Huge {
+		return 0, false
+	}
+	if r.Reserved && r.Populated() == mem.HugePages {
+		k.VMM.PromoteInPlace(p.VP, r)
+		k.TLB.InvalidateRegion(int32(p.VP.PID), int64(r.Index))
+		return k.Cfg.Fault.PromotionCopyCost(0, 0), true
+	}
+	blk, ok := k.Alloc.AllocOpportunistic(mem.HugeOrder, mem.PreferZero, mem.TagAnon)
+	if !ok {
+		// khugepaged allocations may apply pressure: kick compaction, then
+		// fall back to direct reclaim (page-cache eviction) — unlike the
+		// opportunistic fault path.
+		k.Alloc.Compact(1)
+		ablk, err := k.Alloc.Alloc(mem.HugeOrder, mem.PreferZero, mem.TagAnon)
+		if err != nil {
+			return 0, false
+		}
+		blk = ablk
+	}
+	stats := k.VMM.PromoteCopy(p.VP, r, blk)
+	k.TLB.InvalidateRegion(int32(p.VP.PID), int64(r.Index))
+	cost := k.Cfg.Fault.PromotionCopyCost(stats.CopiedPages, stats.ZeroFilled)
+	k.PromoteTime += cost
+	k.DaemonTime += cost
+	return cost, true
+}
+
+// DemoteRegion splits a huge mapping (daemon path).
+func (k *Kernel) DemoteRegion(p *Proc, r *vmm.Region) sim.Time {
+	k.VMM.Demote(p.VP, r)
+	k.TLB.InvalidateRegion(int32(p.VP.PID), int64(r.Index))
+	cost := k.Cfg.Fault.DemotionCost()
+	k.DaemonTime += cost
+	return cost
+}

@@ -1,0 +1,244 @@
+package ksm
+
+import (
+	"testing"
+
+	"hawkeye/internal/kernel"
+	"hawkeye/internal/mem"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/vmm"
+)
+
+type basePolicy struct{}
+
+func (basePolicy) Name() string            { return "base" }
+func (basePolicy) Attach(k *kernel.Kernel) {}
+func (basePolicy) OnFault(*kernel.Kernel, *kernel.Proc, *vmm.Region, vmm.VPN) kernel.Decision {
+	return kernel.DecideBase
+}
+
+func newKernel() *kernel.Kernel {
+	cfg := kernel.DefaultConfig()
+	cfg.MemoryBytes = 256 << 20
+	return kernel.New(cfg, basePolicy{})
+}
+
+// sharedWriter writes identical content (same keys) into n pages and idles.
+type sharedWriter struct {
+	pages int
+	key   uint64
+	next  int
+}
+
+func (w *sharedWriter) Step(k *kernel.Kernel, p *kernel.Proc) (sim.Time, bool, error) {
+	var consumed sim.Time
+	for w.next < w.pages {
+		c, err := k.TouchShared(p, vmm.VPN(w.next), w.key+uint64(w.next))
+		if err != nil {
+			return consumed, false, err
+		}
+		consumed += c
+		w.next++
+	}
+	return 10 * sim.Millisecond, false, nil
+}
+
+func TestKSMMergesIdenticalPagesAcrossProcesses(t *testing.T) {
+	k := newKernel()
+	s := New(DefaultConfig())
+	s.Attach(k)
+	// Two processes write byte-identical pages (same key sequence).
+	p1 := k.Spawn("vm1", &sharedWriter{pages: 200, key: 1000})
+	p2 := k.Spawn("vm2", &sharedWriter{pages: 200, key: 1000})
+	allocBefore := int64(0)
+	_ = allocBefore
+	if err := k.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s.MergedPages < 150 {
+		t.Fatalf("merged %d pages, want most of 200", s.MergedPages)
+	}
+	// One process's RSS collapses (its pages now shared).
+	if p1.VP.RSS()+p2.VP.RSS() > 250 {
+		t.Fatalf("combined RSS = %d, want ≈ 200 (one copy)", p1.VP.RSS()+p2.VP.RSS())
+	}
+}
+
+func TestKSMZeroPagesFoldOntoZeroFrame(t *testing.T) {
+	k := newKernel()
+	s := New(DefaultConfig())
+	s.Attach(k)
+	// A process faults pages in without writing: all zero-filled.
+	prog := &readToucher{pages: 100}
+	p := k.Spawn("reader", prog)
+	if err := k.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s.ZeroMerged < 90 {
+		t.Fatalf("zero-merged %d, want ≈ 100", s.ZeroMerged)
+	}
+	if p.VP.RSS() > 10 {
+		t.Fatalf("RSS = %d after zero merging", p.VP.RSS())
+	}
+}
+
+type readToucher struct {
+	pages int
+	next  int
+}
+
+func (w *readToucher) Step(k *kernel.Kernel, p *kernel.Proc) (sim.Time, bool, error) {
+	var consumed sim.Time
+	for w.next < w.pages {
+		c, err := k.Touch(p, vmm.VPN(w.next), false)
+		if err != nil {
+			return consumed, false, err
+		}
+		consumed += c
+		w.next++
+	}
+	return 10 * sim.Millisecond, false, nil
+}
+
+func TestKSMCOWBreakAfterMerge(t *testing.T) {
+	k := newKernel()
+	s := New(DefaultConfig())
+	s.Attach(k)
+	p1 := k.Spawn("vm1", &sharedWriter{pages: 50, key: 7})
+	p2 := k.Spawn("vm2", &sharedWriter{pages: 50, key: 7})
+	if err := k.Run(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s.MergedPages == 0 {
+		t.Fatal("setup: nothing merged")
+	}
+	// A write to a merged page must COW and diverge.
+	before := p2.Acct.COWFaults
+	if _, err := k.Touch(p2, 10, true); err != nil {
+		t.Fatal(err)
+	}
+	if p2.Acct.COWFaults != before+1 {
+		t.Fatal("write to merged page did not COW")
+	}
+	// The other process still reads its copy fine.
+	if _, err := k.Touch(p1, 10, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKSMUniquePagesNotMerged(t *testing.T) {
+	k := newKernel()
+	s := New(DefaultConfig())
+	s.Attach(k)
+	// Unique content (plain writes) must never merge.
+	p := k.Spawn("solo", &uniqueWriter{pages: 200})
+	if err := k.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MergedPages - s.ZeroMerged; got != 0 {
+		t.Fatalf("%d unique pages merged", got)
+	}
+	if p.VP.RSS() != 200 {
+		t.Fatalf("RSS = %d, want 200", p.VP.RSS())
+	}
+}
+
+type uniqueWriter struct {
+	pages int
+	next  int
+}
+
+func (w *uniqueWriter) Step(k *kernel.Kernel, p *kernel.Proc) (sim.Time, bool, error) {
+	var consumed sim.Time
+	for w.next < w.pages {
+		c, err := k.Touch(p, vmm.VPN(w.next), true)
+		if err != nil {
+			return consumed, false, err
+		}
+		consumed += c
+		w.next++
+	}
+	return 10 * sim.Millisecond, false, nil
+}
+
+func TestKSMRateLimit(t *testing.T) {
+	cfg := Config{PagesPerPulse: 10, Period: 100 * sim.Millisecond}
+	k := newKernel()
+	s := New(cfg)
+	s.Attach(k)
+	k.Spawn("vm1", &sharedWriter{pages: 500, key: 99})
+	if err := k.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	// ≤ 10 pages per 100 ms over 1 s plus slop.
+	if s.Scanned > 120 {
+		t.Fatalf("scanned %d pages in 1s at 100/s limit", s.Scanned)
+	}
+	if mem.PageSize != 4096 {
+		t.Fatal("sanity")
+	}
+}
+
+// hugeWriter maps huge regions whose contents are largely shared between
+// two processes, then idles. With MergeHuge off nothing can merge (the
+// pages hide behind huge mappings); with it on, cold repetitive regions
+// are demoted and their pages merged — the SmartMD coordination.
+type hugeWriter struct {
+	regions int
+	key     uint64
+	next    int
+}
+
+func (w *hugeWriter) Step(k *kernel.Kernel, p *kernel.Proc) (sim.Time, bool, error) {
+	var consumed sim.Time
+	for w.next < w.regions*int(mem.HugePages) {
+		c, err := k.TouchShared(p, vmm.VPN(w.next), w.key+uint64(w.next%int(mem.HugePages)))
+		if err != nil {
+			return consumed, false, err
+		}
+		consumed += c
+		w.next++
+	}
+	return 50 * sim.Millisecond, false, nil
+}
+
+type hugePolicy struct{}
+
+func (hugePolicy) Name() string            { return "huge" }
+func (hugePolicy) Attach(k *kernel.Kernel) {}
+func (hugePolicy) OnFault(*kernel.Kernel, *kernel.Proc, *vmm.Region, vmm.VPN) kernel.Decision {
+	return kernel.DecideHuge
+}
+
+func TestMergeHugeDemotesColdRepetitiveRegions(t *testing.T) {
+	run := func(mergeHuge bool) (*KSM, *kernel.Proc, *kernel.Proc) {
+		cfg := kernel.DefaultConfig()
+		cfg.MemoryBytes = 256 << 20
+		k := kernel.New(cfg, hugePolicy{})
+		sc := DefaultConfig()
+		sc.MergeHuge = mergeHuge
+		sc.PagesPerPulse = 4096
+		s := New(sc)
+		s.Attach(k)
+		p1 := k.Spawn("vm1", &hugeWriter{regions: 4, key: 500})
+		p2 := k.Spawn("vm2", &hugeWriter{regions: 4, key: 500})
+		if err := k.Run(20 * sim.Second); err != nil {
+			t.Fatal(err)
+		}
+		return s, p1, p2
+	}
+	sOff, _, _ := run(false)
+	if sOff.DemotedHuge != 0 || sOff.MergedPages != 0 {
+		t.Fatalf("MergeHuge off but demoted=%d merged=%d", sOff.DemotedHuge, sOff.MergedPages)
+	}
+	sOn, p1, p2 := run(true)
+	if sOn.DemotedHuge == 0 {
+		t.Fatal("MergeHuge on but nothing demoted")
+	}
+	if sOn.MergedPages < 1000 {
+		t.Fatalf("merged only %d pages after demotion", sOn.MergedPages)
+	}
+	if p1.VP.RSS()+p2.VP.RSS() >= 8*mem.HugePages {
+		t.Fatalf("no memory saved: combined RSS %d", p1.VP.RSS()+p2.VP.RSS())
+	}
+}

@@ -1,0 +1,452 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfMemory is returned when an allocation cannot be satisfied even
+// after reclaiming page-cache frames.
+var ErrOutOfMemory = errors.New("mem: out of memory")
+
+// ZeroPref expresses which free list an allocation prefers.
+type ZeroPref uint8
+
+// Allocation preferences for the zero / non-zero split lists.
+const (
+	// PreferZero serves the request from the pre-zeroed list when possible
+	// (anonymous memory: saves synchronous zeroing).
+	PreferZero ZeroPref = iota
+	// PreferNonZero serves from the non-zero list when possible
+	// (copy-on-write and file-backed memory: zeroing would be wasted).
+	PreferNonZero
+)
+
+// Block is the result of a buddy allocation.
+type Block struct {
+	Head   FrameID
+	Order  int
+	Zeroed bool // contents were already all-zero at allocation time
+}
+
+// Pages reports the number of base pages in the block.
+func (b Block) Pages() int64 { return 1 << b.Order }
+
+// Mover relocates the contents and mappings of a single allocated frame, in
+// support of memory compaction. Implemented by the virtual-memory layer.
+// MoveFrame returns false if the frame cannot be moved (pinned).
+type Mover interface {
+	MoveFrame(old, new FrameID) bool
+}
+
+// Allocator is a binary buddy allocator over a flat frame table with split
+// zero/non-zero free lists per order.
+type Allocator struct {
+	frames []frame
+	next   []FrameID // intrusive free-list links
+	prev   []FrameID
+
+	// heads[order][class], class 0 = zero list, 1 = non-zero list.
+	heads  [MaxOrder + 1][2]FrameID
+	counts [MaxOrder + 1][2]int64 // free blocks per order per class
+
+	totalPages    int64
+	freePages     int64
+	zeroFreePages int64
+	peakAllocated int64
+	tagPages      [5]int64 // allocated pages per Tag (TagFree unused)
+
+	fileLIFO []FrameID // reclaimable page-cache frames, LIFO
+	mover    Mover
+
+	// Stats.
+	ReclaimedPages  int64 // file pages dropped under pressure
+	CompactedBlocks int64 // huge-page-sized blocks rebuilt by compaction
+	MovedFrames     int64 // frames migrated by compaction
+	FailedMoves     int64
+}
+
+const (
+	classZero    = 0
+	classNonZero = 1
+)
+
+// NewAllocator creates an allocator managing totalBytes of simulated DRAM.
+// totalBytes is rounded down to a multiple of the largest buddy block.
+func NewAllocator(totalBytes int64) *Allocator {
+	blockBytes := int64(PageSize << MaxOrder)
+	if totalBytes < blockBytes {
+		totalBytes = blockBytes
+	}
+	pages := (totalBytes / blockBytes) * (1 << MaxOrder)
+	a := &Allocator{
+		frames:     make([]frame, pages),
+		next:       make([]FrameID, pages),
+		prev:       make([]FrameID, pages),
+		totalPages: pages,
+	}
+	for o := 0; o <= MaxOrder; o++ {
+		a.heads[o][classZero] = NoFrame
+		a.heads[o][classNonZero] = NoFrame
+	}
+	// Fresh machine memory is treated as zeroed.
+	for i := range a.frames {
+		a.frames[i].zeroed = true
+	}
+	for head := FrameID(0); head < FrameID(pages); head += 1 << MaxOrder {
+		a.insertFree(head, MaxOrder)
+	}
+	a.freePages = pages
+	a.zeroFreePages = pages
+	return a
+}
+
+// SetMover registers the frame migration callback used by Compact.
+func (a *Allocator) SetMover(m Mover) { a.mover = m }
+
+// TotalPages reports the number of managed base-page frames.
+func (a *Allocator) TotalPages() int64 { return a.totalPages }
+
+// FreePages reports currently free base pages.
+func (a *Allocator) FreePages() int64 { return a.freePages }
+
+// ZeroFreePages reports free base pages whose contents are all-zero.
+func (a *Allocator) ZeroFreePages() int64 { return a.zeroFreePages }
+
+// AllocatedPages reports totalPages - freePages.
+func (a *Allocator) AllocatedPages() int64 { return a.totalPages - a.freePages }
+
+// PeakAllocated reports the high-water mark of allocated pages — what a
+// hypervisor that cannot observe guest frees would have to keep resident.
+func (a *Allocator) PeakAllocated() int64 { return a.peakAllocated }
+
+// UsedFraction reports allocated/total, in [0,1].
+func (a *Allocator) UsedFraction() float64 {
+	return float64(a.AllocatedPages()) / float64(a.totalPages)
+}
+
+// TagPages reports allocated pages carrying the given tag.
+func (a *Allocator) TagPages(t Tag) int64 { return a.tagPages[t] }
+
+// FreeBlocks reports the number of free blocks at exactly the given order.
+func (a *Allocator) FreeBlocks(order int) int64 {
+	return a.counts[order][classZero] + a.counts[order][classNonZero]
+}
+
+// FreeBlocksAtLeast reports free blocks at order or above.
+func (a *Allocator) FreeBlocksAtLeast(order int) int64 {
+	var n int64
+	for o := order; o <= MaxOrder; o++ {
+		n += a.FreeBlocks(o)
+	}
+	return n
+}
+
+// blockAllZero reports whether every frame in the block has zero content.
+func (a *Allocator) blockAllZero(head FrameID, order int) bool {
+	n := FrameID(1) << order
+	for i := FrameID(0); i < n; i++ {
+		if !a.frames[head+i].zeroed {
+			return false
+		}
+	}
+	return true
+}
+
+// insertFree links a block onto the zero or non-zero free list. The class is
+// derived from the per-frame content bits so it can never go stale (a block
+// of all-zero frames must be allocatable without re-zeroing even if it was
+// merged through the non-zero list at some point).
+func (a *Allocator) insertFree(head FrameID, order int) {
+	cls := classNonZero
+	if a.blockAllZero(head, order) {
+		cls = classZero
+	}
+	f := &a.frames[head]
+	f.tag = TagFree
+	f.freeHead = true
+	f.order = uint8(order)
+	f.freeClass = uint8(cls)
+	a.next[head] = a.heads[order][cls]
+	a.prev[head] = NoFrame
+	if a.heads[order][cls] != NoFrame {
+		a.prev[a.heads[order][cls]] = head
+	}
+	a.heads[order][cls] = head
+	a.counts[order][cls]++
+}
+
+// unlinkFree removes a specific free block head from its list.
+func (a *Allocator) unlinkFree(head FrameID) {
+	f := &a.frames[head]
+	order := int(f.order)
+	cls := int(f.freeClass)
+	if a.prev[head] != NoFrame {
+		a.next[a.prev[head]] = a.next[head]
+	} else {
+		a.heads[order][cls] = a.next[head]
+	}
+	if a.next[head] != NoFrame {
+		a.prev[a.next[head]] = a.prev[head]
+	}
+	f.freeHead = false
+	a.counts[order][cls]--
+}
+
+// popFree removes and returns the head of the free list (order, cls), or
+// NoFrame if empty.
+func (a *Allocator) popFree(order, cls int) FrameID {
+	head := a.heads[order][cls]
+	if head == NoFrame {
+		return NoFrame
+	}
+	a.unlinkFree(head)
+	return head
+}
+
+// Alloc allocates a 2^order-page block with the given tag and zero
+// preference. It reclaims page-cache frames under pressure before failing
+// with ErrOutOfMemory.
+func (a *Allocator) Alloc(order int, pref ZeroPref, tag Tag) (Block, error) {
+	if order < 0 || order > MaxOrder {
+		panic(fmt.Sprintf("mem: Alloc order %d out of range", order))
+	}
+	if tag == TagFree {
+		panic("mem: Alloc with TagFree")
+	}
+	blk, ok := a.tryAlloc(order, pref, tag)
+	if ok {
+		return blk, nil
+	}
+	// Reclaim page cache and retry. New page-cache fills never evict the
+	// cache to make room for themselves; only anonymous/kernel allocations
+	// apply pressure.
+	for tag != TagFile && len(a.fileLIFO) > 0 {
+		// Modest reclaim batches: evict only as much cache as the retry
+		// loop actually needs, rather than whole swaths per attempt.
+		batch := 1 << order
+		if batch > 128 {
+			batch = 128
+		}
+		a.reclaimFile(batch)
+		if blk, ok = a.tryAlloc(order, pref, tag); ok {
+			return blk, nil
+		}
+	}
+	return Block{Head: NoFrame}, fmt.Errorf("%w: order %d (%d free pages, %d free blocks ≥ order)",
+		ErrOutOfMemory, order, a.freePages, a.FreeBlocksAtLeast(order))
+}
+
+// AllocOpportunistic allocates without applying reclaim pressure — the
+// fault-path semantics of transparent huge page allocation in Linux
+// (__GFP_NORETRY): either contiguity exists right now or the caller falls
+// back to base pages.
+func (a *Allocator) AllocOpportunistic(order int, pref ZeroPref, tag Tag) (Block, bool) {
+	if order < 0 || order > MaxOrder {
+		panic(fmt.Sprintf("mem: AllocOpportunistic order %d out of range", order))
+	}
+	if tag == TagFree {
+		panic("mem: AllocOpportunistic with TagFree")
+	}
+	return a.tryAlloc(order, pref, tag)
+}
+
+// tryAlloc attempts an allocation without reclaim.
+func (a *Allocator) tryAlloc(order int, pref ZeroPref, tag Tag) (Block, bool) {
+	first, second := classZero, classNonZero
+	if pref == PreferNonZero {
+		first, second = classNonZero, classZero
+	}
+	// Exact-order match in the preferred class, then the other class, then
+	// split progressively larger blocks (preferred class first per order).
+	for o := order; o <= MaxOrder; o++ {
+		for _, cls := range [2]int{first, second} {
+			head := a.popFree(o, cls)
+			if head == NoFrame {
+				continue
+			}
+			// Split down to the requested order, returning upper halves to
+			// the free lists (each reclassified from its own content).
+			for cur := o; cur > order; cur-- {
+				buddy := head + FrameID(1)<<(cur-1)
+				a.insertFree(buddy, cur-1)
+			}
+			zeroed := a.blockAllZero(head, order)
+			a.commitAlloc(head, order, tag)
+			return Block{Head: head, Order: order, Zeroed: zeroed}, true
+		}
+	}
+	return Block{Head: NoFrame}, false
+}
+
+// commitAlloc marks the frames of a block allocated. Per-frame content
+// (zeroed) bits are preserved: allocation does not change page contents.
+func (a *Allocator) commitAlloc(head FrameID, order int, tag Tag) {
+	n := FrameID(1) << order
+	for i := FrameID(0); i < n; i++ {
+		f := &a.frames[head+i]
+		f.tag = tag
+		f.freeHead = false
+		if f.zeroed {
+			a.zeroFreePages--
+		}
+	}
+	a.freePages -= int64(n)
+	if alloc := a.totalPages - a.freePages; alloc > a.peakAllocated {
+		a.peakAllocated = alloc
+	}
+	a.tagPages[tag] += int64(n)
+	if tag == TagFile {
+		for i := FrameID(0); i < n; i++ {
+			a.fileLIFO = append(a.fileLIFO, head+i)
+		}
+	}
+}
+
+// Free returns a 2^order block to the allocator. dirty indicates the
+// application wrote to it (its contents are not all-zero anymore).
+func (a *Allocator) Free(head FrameID, order int, dirty bool) {
+	if order < 0 || order > MaxOrder {
+		panic(fmt.Sprintf("mem: Free order %d out of range", order))
+	}
+	if head%(FrameID(1)<<order) != 0 {
+		panic(fmt.Sprintf("mem: Free of unaligned block %d order %d", head, order))
+	}
+	n := FrameID(1) << order
+	tag := a.frames[head].tag
+	if tag == TagFree {
+		panic(fmt.Sprintf("mem: double free of frame %d", head))
+	}
+	for i := FrameID(0); i < n; i++ {
+		f := &a.frames[head+i]
+		if f.tag == TagFree {
+			panic(fmt.Sprintf("mem: double free of frame %d", head+i))
+		}
+		if f.tag != tag {
+			// Mixed-tag blocks are freed per-frame by callers; reaching here
+			// means an accounting bug.
+			panic(fmt.Sprintf("mem: Free spans tags %v and %v", tag, f.tag))
+		}
+		if dirty {
+			f.zeroed = false
+		}
+		if f.zeroed {
+			a.zeroFreePages++
+		}
+		f.tag = TagFree
+	}
+	a.tagPages[tag] -= int64(n)
+	a.freePages += int64(n)
+	a.coalesce(head, order)
+}
+
+// coalesce merges the freed block with free buddies and inserts the result.
+func (a *Allocator) coalesce(head FrameID, order int) {
+	for order < MaxOrder {
+		buddy := head ^ (FrameID(1) << order)
+		if buddy >= FrameID(len(a.frames)) {
+			break
+		}
+		bf := &a.frames[buddy]
+		if bf.tag != TagFree || !bf.freeHead || int(bf.order) != order {
+			break
+		}
+		a.unlinkFree(buddy)
+		if buddy < head {
+			head = buddy
+		}
+		order++
+	}
+	a.insertFree(head, order)
+}
+
+// reclaimFile drops up to n page-cache frames (LIFO), freeing them dirty.
+func (a *Allocator) reclaimFile(n int) int {
+	dropped := 0
+	for dropped < n && len(a.fileLIFO) > 0 {
+		id := a.fileLIFO[len(a.fileLIFO)-1]
+		a.fileLIFO = a.fileLIFO[:len(a.fileLIFO)-1]
+		if a.frames[id].tag != TagFile {
+			continue // already freed explicitly
+		}
+		a.Free(id, 0, true)
+		dropped++
+	}
+	a.ReclaimedPages += int64(dropped)
+	return dropped
+}
+
+// RetagFrame changes the tag of one allocated frame (e.g. page cache that
+// becomes a pinned kernel allocation). The frame must be allocated.
+func (a *Allocator) RetagFrame(id FrameID, tag Tag) {
+	f := &a.frames[id]
+	if f.tag == TagFree || tag == TagFree {
+		panic("mem: RetagFrame on/to free")
+	}
+	a.tagPages[f.tag]--
+	a.tagPages[tag]++
+	f.tag = tag
+}
+
+// FileCachePages reports live reclaimable page-cache frames.
+func (a *Allocator) FileCachePages() int64 { return a.tagPages[TagFile] }
+
+// FrameTag reports the tag of a frame (for tests and the VMM).
+func (a *Allocator) FrameTag(id FrameID) Tag { return a.frames[id].tag }
+
+// FrameZeroed reports whether the frame content is known all-zero.
+func (a *Allocator) FrameZeroed(id FrameID) bool { return a.frames[id].zeroed }
+
+// MarkDirty records that an allocated frame's content is no longer zero.
+func (a *Allocator) MarkDirty(id FrameID) { a.frames[id].zeroed = false }
+
+// MarkZeroed records that an allocated frame's content is all-zero (e.g.
+// after explicit clearing by the fault handler).
+func (a *Allocator) MarkZeroed(id FrameID) { a.frames[id].zeroed = true }
+
+// CheckConsistency validates allocator invariants: free-list contents must
+// sum to freePages, per-frame zero bits to zeroFreePages, and every linked
+// block must be properly aligned, in range, and marked free. It returns a
+// description of the first violation, or "" if consistent. Intended for
+// tests and debugging; cost is O(frames).
+func (a *Allocator) CheckConsistency() string {
+	var listed int64
+	for o := 0; o <= MaxOrder; o++ {
+		for cls := 0; cls < 2; cls++ {
+			count := int64(0)
+			for head := a.heads[o][cls]; head != NoFrame; head = a.next[head] {
+				f := &a.frames[head]
+				if f.tag != TagFree || !f.freeHead || int(f.order) != o || int(f.freeClass) != cls {
+					return fmt.Sprintf("list (o=%d,cls=%d) holds bad head %d: %+v", o, cls, head, *f)
+				}
+				if head%(FrameID(1)<<o) != 0 {
+					return fmt.Sprintf("unaligned block %d at order %d", head, o)
+				}
+				listed += int64(1) << o
+				count++
+			}
+			if count != a.counts[o][cls] {
+				return fmt.Sprintf("count mismatch (o=%d,cls=%d): walked %d, recorded %d", o, cls, count, a.counts[o][cls])
+			}
+		}
+	}
+	if listed != a.freePages {
+		return fmt.Sprintf("free-list pages %d != freePages %d (leak of %d)", listed, a.freePages, a.freePages-listed)
+	}
+	var zeroFree, free int64
+	for i := range a.frames {
+		if a.frames[i].tag == TagFree {
+			free++
+			if a.frames[i].zeroed {
+				zeroFree++
+			}
+		}
+	}
+	if free != a.freePages {
+		return fmt.Sprintf("frames tagged free %d != freePages %d", free, a.freePages)
+	}
+	if zeroFree != a.zeroFreePages {
+		return fmt.Sprintf("zeroed free frames %d != zeroFreePages %d", zeroFree, a.zeroFreePages)
+	}
+	return ""
+}

@@ -1,0 +1,91 @@
+package mem
+
+import "testing"
+
+func BenchmarkAllocFreeBase(b *testing.B) {
+	a := NewAllocator(256 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk, err := a.Alloc(0, PreferZero, TagAnon)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a.Free(blk.Head, 0, i%2 == 0)
+	}
+}
+
+func BenchmarkAllocFreeHuge(b *testing.B) {
+	a := NewAllocator(256 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk, err := a.Alloc(HugeOrder, PreferZero, TagAnon)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a.Free(blk.Head, HugeOrder, true)
+	}
+}
+
+func BenchmarkPrezeroCycle(b *testing.B) {
+	a := NewAllocator(256 << 20)
+	blk, _ := a.Alloc(MaxOrder, PreferZero, TagAnon)
+	a.Free(blk.Head, MaxOrder, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		head, order, ok := a.PopNonZeroBlockUpTo(HugeOrder)
+		if !ok {
+			// Backlog drained: dirty one block again.
+			blk, _ := a.Alloc(HugeOrder, PreferNonZero, TagAnon)
+			a.Free(blk.Head, HugeOrder, true)
+			continue
+		}
+		a.InsertZeroBlock(head, order)
+	}
+}
+
+func BenchmarkFMFI(b *testing.B) {
+	a := NewAllocator(256 << 20)
+	var blocks []Block
+	for {
+		blk, err := a.Alloc(0, PreferZero, TagAnon)
+		if err != nil {
+			break
+		}
+		blocks = append(blocks, blk)
+	}
+	for i, blk := range blocks {
+		if i%2 == 0 {
+			a.Free(blk.Head, 0, true)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.FMFI(HugeOrder)
+	}
+}
+
+func BenchmarkCompactionPass(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		a := NewAllocator(64 << 20)
+		a.SetMover(moverFunc(func(old, new FrameID) bool { return true }))
+		var blocks []Block
+		for {
+			blk, err := a.Alloc(0, PreferZero, TagAnon)
+			if err != nil {
+				break
+			}
+			blocks = append(blocks, blk)
+		}
+		for j, blk := range blocks {
+			if j%8 != 0 {
+				a.Free(blk.Head, 0, true)
+			}
+		}
+		b.StartTimer()
+		a.Compact(8)
+	}
+}

@@ -1,0 +1,63 @@
+package mem
+
+// FMFI computes the free-memory fragmentation index for allocations of the
+// given order, following the semantics of Linux's extfrag index (Gorman &
+// Whitcroft, "The What, The Why and The Where To of Anti-Fragmentation"),
+// which Ingens consults with a 0.5 threshold:
+//
+//   - 0 when a free block of at least the requested order exists
+//     (the allocation can be satisfied; fragmentation is irrelevant);
+//   - otherwise 1 - (freePages/2^order)/freeBlocks: approaches 1 when free
+//     memory is shattered into many small blocks, and stays near 0 when the
+//     failure is simple lack of memory.
+//
+// The result is clamped to [0, 1].
+func (a *Allocator) FMFI(order int) float64 {
+	if order < 0 || order > MaxOrder {
+		return 0
+	}
+	if a.FreeBlocksAtLeast(order) > 0 {
+		return 0
+	}
+	var blocks int64
+	for o := 0; o <= MaxOrder; o++ {
+		blocks += a.FreeBlocks(o)
+	}
+	if blocks == 0 {
+		// No free memory at all: not fragmentation, just exhaustion.
+		return 0
+	}
+	requested := float64(int64(1) << order)
+	idx := 1 - (float64(a.freePages)/requested)/float64(blocks)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > 1 {
+		idx = 1
+	}
+	return idx
+}
+
+// ContiguityFraction reports the fraction of free memory that sits in blocks
+// of at least the given order — a direct "how easy are huge pages right now"
+// measure used in tests and metrics.
+func (a *Allocator) ContiguityFraction(order int) float64 {
+	if a.freePages == 0 {
+		return 0
+	}
+	var big int64
+	for o := order; o <= MaxOrder; o++ {
+		big += a.FreeBlocks(o) << o
+	}
+	return float64(big) / float64(a.freePages)
+}
+
+// HugePageCapacity reports how many order-HugeOrder allocations the free
+// lists could satisfy right now (larger blocks count multiple times).
+func (a *Allocator) HugePageCapacity() int64 {
+	var n int64
+	for o := HugeOrder; o <= MaxOrder; o++ {
+		n += a.FreeBlocks(o) << (o - HugeOrder)
+	}
+	return n
+}

@@ -1,0 +1,78 @@
+// Package mem implements the physical-memory substrate of the simulator:
+// a frame table and a binary buddy allocator whose free lists are split
+// into zero-filled and non-zero lists (the mechanism behind HawkEye's
+// asynchronous pre-zeroing, §3.1 of the paper), plus the free-memory
+// fragmentation index (FMFI) used by Ingens, page-cache style reclaimable
+// filler pages used to fragment memory in experiments, and a compaction
+// pass that relocates movable frames to rebuild contiguity.
+package mem
+
+import "fmt"
+
+// PageSize is the base page size in bytes (x86-64 4 KB).
+const PageSize = 4096
+
+// HugeOrder is the buddy order of a 2 MB huge page (512 base pages).
+const HugeOrder = 9
+
+// HugePages is the number of base pages per huge page.
+const HugePages = 1 << HugeOrder
+
+// HugeSize is the huge page size in bytes.
+const HugeSize = PageSize * HugePages
+
+// MaxOrder is the largest buddy order managed by the allocator (4 MB blocks),
+// mirroring Linux's MAX_ORDER-1 = 10 on x86.
+const MaxOrder = 10
+
+// FrameID identifies a physical base-page frame. The zero frame is valid;
+// NoFrame is the sentinel for "no frame".
+type FrameID int64
+
+// NoFrame is the nil FrameID.
+const NoFrame FrameID = -1
+
+// Tag describes what a frame is used for. It determines movability during
+// compaction and reclaimability under memory pressure.
+type Tag uint8
+
+// Frame usage tags.
+const (
+	TagFree   Tag = iota // on a buddy free list
+	TagAnon              // anonymous application memory (movable)
+	TagFile              // page-cache style (reclaimable, fragments memory)
+	TagKernel            // unmovable kernel allocation
+	TagZero              // the canonical shared zero page
+)
+
+func (t Tag) String() string {
+	switch t {
+	case TagFree:
+		return "free"
+	case TagAnon:
+		return "anon"
+	case TagFile:
+		return "file"
+	case TagKernel:
+		return "kernel"
+	case TagZero:
+		return "zero"
+	default:
+		return fmt.Sprintf("tag(%d)", uint8(t))
+	}
+}
+
+// frame is the per-frame metadata. Kept small: one entry per simulated 4 KB.
+type frame struct {
+	tag       Tag
+	zeroed    bool  // content is all-zero (valid whether free or allocated)
+	order     uint8 // when head of a free block: its order
+	freeHead  bool  // head of a free buddy block
+	freeClass uint8 // when head of a free block: which split list it is on
+}
+
+// Bytes converts a page count to bytes.
+func Bytes(pages int64) int64 { return pages * PageSize }
+
+// PagesOf converts a byte size (rounded up) to base pages.
+func PagesOf(bytes int64) int64 { return (bytes + PageSize - 1) / PageSize }

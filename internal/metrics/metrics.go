@@ -1,0 +1,185 @@
+// Package metrics provides the small statistical toolkit the simulator's
+// policies and experiments share: exponential moving averages (HawkEye's
+// access-coverage estimator), log-bucketed latency histograms with
+// percentile queries (fault-latency tails, Fig. 11's "significant tail
+// latency reduction"), and simple online mean/max accumulators.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// EMA is an exponential moving average with configurable weight for new
+// samples. The zero value (Alpha 0) treats the first Update as the mean.
+type EMA struct {
+	Alpha float64
+	val   float64
+	init  bool
+}
+
+// NewEMA returns an EMA with the given new-sample weight.
+func NewEMA(alpha float64) *EMA { return &EMA{Alpha: alpha} }
+
+// Update folds in a sample and returns the new average.
+func (e *EMA) Update(x float64) float64 {
+	if !e.init {
+		e.val = x
+		e.init = true
+		return x
+	}
+	a := e.Alpha
+	if a <= 0 || a > 1 {
+		a = 0.5
+	}
+	e.val = a*x + (1-a)*e.val
+	return e.val
+}
+
+// Value returns the current average (0 before any update).
+func (e *EMA) Value() float64 { return e.val }
+
+// Initialized reports whether any sample has been folded in.
+func (e *EMA) Initialized() bool { return e.init }
+
+// Histogram is a log2-bucketed histogram for positive values (latencies in
+// µs, sizes in pages). Bucket i covers [2^i, 2^(i+1)); values < 1 land in
+// bucket 0. Memory is constant (64 buckets) and updates are O(1).
+type Histogram struct {
+	buckets [64]uint64
+	count   uint64
+	sum     float64
+	max     float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	b := 0
+	if v >= 1 {
+		b = int(math.Log2(v))
+		if b > 63 {
+			b = 63
+		}
+	}
+	h.buckets[b]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean reports the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Max reports the largest observation.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile reports an upper bound for the q-quantile (q in [0,1]) at
+// bucket resolution: the top of the bucket containing the q-th
+// observation. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum > target {
+			upper := math.Pow(2, float64(i+1))
+			if upper > h.max && h.max > 0 {
+				return h.max
+			}
+			return upper
+		}
+	}
+	return h.max
+}
+
+// String renders count/mean/p50/p99/max compactly.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50≤%.0f p99≤%.0f max=%.0f",
+		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.max)
+}
+
+// Bars renders an ASCII sketch of the non-empty buckets.
+func (h *Histogram) Bars(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var peak uint64
+	lo, hi := -1, -1
+	for i, c := range h.buckets {
+		if c > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+			if c > peak {
+				peak = c
+			}
+		}
+	}
+	if lo < 0 {
+		return "(empty)"
+	}
+	var b strings.Builder
+	for i := lo; i <= hi; i++ {
+		n := int(float64(h.buckets[i]) / float64(peak) * float64(width))
+		fmt.Fprintf(&b, "[%6.0f,%6.0f) %s %d\n",
+			math.Pow(2, float64(i)), math.Pow(2, float64(i+1)),
+			strings.Repeat("#", n), h.buckets[i])
+	}
+	return b.String()
+}
+
+// Welford is an online mean/variance accumulator.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add folds in one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Mean reports the sample mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// StdDev reports the sample standard deviation (0 for n < 2).
+func (w *Welford) StdDev() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}
+
+// N reports the sample count.
+func (w *Welford) N() uint64 { return w.n }

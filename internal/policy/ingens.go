@@ -1,0 +1,160 @@
+package policy
+
+import (
+	"sort"
+
+	"hawkeye/internal/kernel"
+	"hawkeye/internal/mem"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/vmm"
+)
+
+// Ingens models the OSDI'16 system: page faults are always served with base
+// pages (low latency), and a background thread promotes regions
+// asynchronously. Promotion aggressiveness adapts to fragmentation via the
+// free-memory fragmentation index: below the FMFI threshold Ingens promotes
+// like Linux (any populated page), above it only regions whose utilization
+// exceeds UtilThreshold. Across processes, huge pages are granted by a
+// proportional-share metric that counts memory contiguity as the resource
+// and penalizes idle huge pages.
+type Ingens struct {
+	UtilThreshold float64 // conservative-phase utilization bar (0.9)
+	FMFIThreshold float64 // fragmentation pivot (0.5)
+	ScanRate      float64 // regions promoted per second
+	IdlePenalty   float64 // weight of an idle huge page in the share metric
+	SamplePeriod  sim.Time
+
+	carry  float64
+	cursor map[int]vmm.RegionIndex // per-PID VA-order scan cursor
+	idle   map[int]int             // idle huge regions at last sample
+	active map[int]int             // accessed huge regions at last sample
+}
+
+// NewIngens returns Ingens with the paper's default parameters.
+func NewIngens() *Ingens {
+	return &Ingens{
+		UtilThreshold: 0.9,
+		FMFIThreshold: 0.5,
+		ScanRate:      0.8,
+		IdlePenalty:   2.0,
+		SamplePeriod:  10 * sim.Second,
+		cursor:        make(map[int]vmm.RegionIndex),
+		idle:          make(map[int]int),
+		active:        make(map[int]int),
+	}
+}
+
+// NewIngensUtil returns Ingens pinned to a fixed utilization threshold with
+// no aggressive phase (the Ingens-90% / Ingens-50% configurations of
+// Tables 7 and 8).
+func NewIngensUtil(util float64) *Ingens {
+	in := NewIngens()
+	in.UtilThreshold = util
+	in.FMFIThreshold = -1 // always "fragmented": always conservative
+	return in
+}
+
+// Name implements kernel.Policy.
+func (in *Ingens) Name() string { return "ingens" }
+
+// OnFault implements kernel.Policy: Ingens never allocates huge pages in
+// the fault path.
+func (in *Ingens) OnFault(*kernel.Kernel, *kernel.Proc, *vmm.Region, vmm.VPN) kernel.Decision {
+	return kernel.DecideBase
+}
+
+// Attach implements kernel.Policy.
+func (in *Ingens) Attach(k *kernel.Kernel) {
+	k.Engine.Every(in.SamplePeriod, "ingens-idle-sample", func(*sim.Engine) (bool, error) {
+		in.sampleIdleness(k)
+		return true, nil
+	})
+	k.Engine.Every(sim.Second, "ingens-promote", func(*sim.Engine) (bool, error) {
+		in.carry += in.ScanRate
+		budget := int(in.carry)
+		in.carry -= float64(budget)
+		for i := 0; i < budget; i++ {
+			if !in.promoteNext(k) {
+				break
+			}
+		}
+		return true, nil
+	})
+}
+
+// sampleIdleness reads and clears the access bits of huge mappings, feeding
+// the idleness penalty of the fairness metric.
+func (in *Ingens) sampleIdleness(k *kernel.Kernel) {
+	for _, p := range k.Procs() {
+		if p.VP.Dead {
+			continue
+		}
+		idle, active := 0, 0
+		for _, r := range p.VP.RegionsInOrder() {
+			if !r.Huge {
+				continue
+			}
+			if r.HugeAccessed() {
+				active++
+			} else {
+				idle++
+			}
+			r.ClearAccessBits()
+		}
+		in.idle[p.PID()] = idle
+		in.active[p.PID()] = active
+	}
+}
+
+// shareMetric is the penalized huge-page allocation of a process: lower
+// means more entitled to the next promotion.
+func (in *Ingens) shareMetric(p *kernel.Proc) float64 {
+	return float64(in.active[p.PID()]) + in.IdlePenalty*float64(in.idle[p.PID()])
+}
+
+// minPopulated returns the promotion threshold given current fragmentation.
+func (in *Ingens) minPopulated(k *kernel.Kernel) int {
+	if k.Alloc.FMFI(mem.HugeOrder) < in.FMFIThreshold {
+		return 1 // aggressive phase: promote at first opportunity
+	}
+	return int(in.UtilThreshold * mem.HugePages)
+}
+
+// promoteNext promotes one region, honouring the share metric across
+// processes and VA order within a process.
+func (in *Ingens) promoteNext(k *kernel.Kernel) bool {
+	minPop := in.minPopulated(k)
+	procs := k.LiveProcs()
+	if len(procs) == 0 {
+		return false
+	}
+	// Most-entitled process first.
+	sort.SliceStable(procs, func(a, b int) bool {
+		return in.shareMetric(procs[a]) < in.shareMetric(procs[b])
+	})
+	for _, p := range procs {
+		cur := in.cursor[p.PID()]
+		regions := p.VP.RegionsInOrder()
+		// Two passes: from the cursor to the end, then wrap.
+		for pass := 0; pass < 2; pass++ {
+			for _, r := range regions {
+				if pass == 0 && r.Index < cur {
+					continue
+				}
+				if pass == 1 && r.Index >= cur {
+					break
+				}
+				if promotable(r, minPop) {
+					if _, ok := k.PromoteRegion(p, r); ok {
+						in.cursor[p.PID()] = r.Index + 1
+						// A fresh huge page counts as active until sampled.
+						in.active[p.PID()]++
+						return true
+					}
+					return false
+				}
+			}
+		}
+	}
+	return false
+}

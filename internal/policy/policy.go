@@ -1,0 +1,179 @@
+// Package policy implements the huge-page management policies HawkEye is
+// evaluated against: Linux's transparent huge pages (synchronous huge
+// faults plus FCFS khugepaged promotion in VA order), FreeBSD-style
+// reservation-based promotion, Ingens (asynchronous utilization-threshold
+// promotion with FMFI-adaptive aggressiveness and share-based fairness),
+// and a no-huge-pages baseline. The HawkEye policy itself lives in
+// internal/core.
+package policy
+
+import (
+	"hawkeye/internal/kernel"
+	"hawkeye/internal/mem"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/vmm"
+)
+
+// None is the Linux-4KB baseline: no huge pages, ever.
+type None struct{}
+
+// NewNone returns the no-THP baseline policy.
+func NewNone() *None { return &None{} }
+
+// Name implements kernel.Policy.
+func (*None) Name() string { return "none-4k" }
+
+// Attach implements kernel.Policy.
+func (*None) Attach(*kernel.Kernel) {}
+
+// OnFault implements kernel.Policy.
+func (*None) OnFault(*kernel.Kernel, *kernel.Proc, *vmm.Region, vmm.VPN) kernel.Decision {
+	return kernel.DecideBase
+}
+
+// promotable reports whether a daemon should consider collapsing r, given a
+// minimum populated-page threshold.
+func promotable(r *vmm.Region, minPopulated int) bool {
+	return !r.Huge && r.Populated() >= minPopulated
+}
+
+// LinuxTHP models Linux's transparent huge page support: huge pages are
+// allocated synchronously at fault time when contiguity allows, and
+// khugepaged promotes the remaining base-mapped regions in the background —
+// selecting processes first-come-first-served and scanning each address
+// space from low to high virtual addresses.
+type LinuxTHP struct {
+	// ScanRate is the number of regions khugepaged may promote per second
+	// (Linux default ≈ 0.8: 4096 pages every 10 s).
+	ScanRate float64
+	// MaxPtesNone mirrors khugepaged's max_ptes_none: a region is promoted
+	// if at least 512-MaxPtesNone of its PTEs are populated. The Linux
+	// default of 511 promotes regions with a single resident page.
+	MaxPtesNone int
+
+	cursorProc   int
+	cursorRegion vmm.RegionIndex
+	carry        float64
+}
+
+// NewLinuxTHP returns the Linux policy with default khugepaged settings.
+func NewLinuxTHP() *LinuxTHP {
+	return &LinuxTHP{ScanRate: 0.8, MaxPtesNone: 511}
+}
+
+// Name implements kernel.Policy.
+func (*LinuxTHP) Name() string { return "linux-thp" }
+
+// OnFault implements kernel.Policy: THP tries a huge mapping on every
+// first-touch anonymous fault.
+func (*LinuxTHP) OnFault(*kernel.Kernel, *kernel.Proc, *vmm.Region, vmm.VPN) kernel.Decision {
+	return kernel.DecideHuge
+}
+
+// Attach implements kernel.Policy: it starts the khugepaged loop.
+func (l *LinuxTHP) Attach(k *kernel.Kernel) {
+	k.Engine.Every(sim.Second, "khugepaged", func(*sim.Engine) (bool, error) {
+		l.carry += l.ScanRate
+		budget := int(l.carry)
+		l.carry -= float64(budget)
+		for i := 0; i < budget; i++ {
+			if !l.promoteNext(k) {
+				break
+			}
+		}
+		return true, nil
+	})
+}
+
+// promoteNext advances the FCFS/VA-order cursor to the next promotable
+// region and collapses it. Returns false when nothing was promotable.
+func (l *LinuxTHP) promoteNext(k *kernel.Kernel) bool {
+	procs := k.Procs()
+	minPop := mem.HugePages - l.MaxPtesNone
+	if minPop < 1 {
+		minPop = 1
+	}
+	tried := 0
+	for tried < len(procs) {
+		if l.cursorProc >= len(procs) {
+			l.cursorProc = 0
+		}
+		p := procs[l.cursorProc]
+		if p.Done || p.VP.Dead {
+			l.cursorProc++
+			l.cursorRegion = 0
+			tried++
+			continue
+		}
+		// Scan this process's regions from the cursor upward (VA order).
+		for _, r := range p.VP.RegionsInOrder() {
+			if r.Index < l.cursorRegion {
+				continue
+			}
+			if promotable(r, minPop) {
+				if _, ok := k.PromoteRegion(p, r); ok {
+					l.cursorRegion = r.Index + 1
+					return true
+				}
+				// Could not build a huge page at all: give up this tick.
+				return false
+			}
+		}
+		// Finished this process: move to the next (FCFS order).
+		l.cursorProc++
+		l.cursorRegion = 0
+		tried++
+	}
+	return false
+}
+
+// FreeBSD models FreeBSD's reservation-based superpage support: a fault in
+// an unbacked region reserves a contiguous 2 MB block and populates it in
+// place; the mapping is promoted only when every base page is populated,
+// and reservations are broken under memory pressure.
+type FreeBSD struct {
+	// PressureFraction is the used-memory fraction above which unfinished
+	// reservations are released.
+	PressureFraction float64
+}
+
+// NewFreeBSD returns the FreeBSD-style policy.
+func NewFreeBSD() *FreeBSD { return &FreeBSD{PressureFraction: 0.92} }
+
+// Name implements kernel.Policy.
+func (*FreeBSD) Name() string { return "freebsd" }
+
+// OnFault implements kernel.Policy.
+func (*FreeBSD) OnFault(*kernel.Kernel, *kernel.Proc, *vmm.Region, vmm.VPN) kernel.Decision {
+	return kernel.DecideReserve
+}
+
+// Attach implements kernel.Policy.
+func (f *FreeBSD) Attach(k *kernel.Kernel) {
+	k.Engine.Every(sim.Second, "freebsd-promote", func(*sim.Engine) (bool, error) {
+		for _, p := range k.Procs() {
+			if p.Done || p.VP.Dead {
+				continue
+			}
+			for _, r := range p.VP.RegionsInOrder() {
+				if r.Reserved && r.Populated() == mem.HugePages {
+					k.PromoteRegion(p, r) // in-place, no copy
+				}
+			}
+		}
+		// Under pressure, return unused reservation frames.
+		if k.Alloc.UsedFraction() > f.PressureFraction {
+			for _, p := range k.Procs() {
+				if p.VP.Dead {
+					continue
+				}
+				for _, r := range p.VP.RegionsInOrder() {
+					if r.Reserved && r.Populated() < mem.HugePages {
+						k.VMM.ReleaseReservation(r)
+					}
+				}
+			}
+		}
+		return true, nil
+	})
+}

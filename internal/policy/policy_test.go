@@ -1,0 +1,277 @@
+package policy
+
+import (
+	"testing"
+
+	"hawkeye/internal/kernel"
+	"hawkeye/internal/mem"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/vmm"
+	"hawkeye/internal/workload"
+)
+
+func testKernel(mb int64, pol kernel.Policy) *kernel.Kernel {
+	cfg := kernel.DefaultConfig()
+	cfg.MemoryBytes = mb << 20
+	return kernel.New(cfg, pol)
+}
+
+func TestNonePolicyNeverHuge(t *testing.T) {
+	k := testKernel(256, NewNone())
+	inst := workload.Microbench(50<<20, 1, 1)
+	p := k.Spawn("m", inst.Program)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.Acct.HugeFaults != 0 {
+		t.Fatal("none policy allocated huge pages")
+	}
+}
+
+func TestLinuxTHPHugeAtFault(t *testing.T) {
+	k := testKernel(256, NewLinuxTHP())
+	inst := workload.Microbench(50<<20, 1, 1)
+	p := k.Spawn("m", inst.Program)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.Acct.HugeFaults == 0 {
+		t.Fatal("THP did not allocate huge pages at fault")
+	}
+	if p.Acct.BaseFaults > p.Acct.HugeFaults {
+		t.Fatalf("too many base faults: %d vs %d huge", p.Acct.BaseFaults, p.Acct.HugeFaults)
+	}
+}
+
+// idler keeps a process alive without doing anything, so daemons can work.
+type idler struct{}
+
+func (idler) Step(k *kernel.Kernel, p *kernel.Proc) (sim.Time, bool, error) {
+	return 10 * sim.Millisecond, false, nil
+}
+
+// populateThenIdle touches pages with base mappings then idles.
+type populateThenIdle struct {
+	pages int64
+	next  int64
+}
+
+func (pi *populateThenIdle) Step(k *kernel.Kernel, p *kernel.Proc) (sim.Time, bool, error) {
+	var consumed sim.Time
+	for pi.next < pi.pages && consumed < k.Cfg.Quantum {
+		c, err := k.Touch(p, (vmmVPN)(pi.next), true)
+		if err != nil {
+			return consumed, false, err
+		}
+		consumed += c
+		pi.next++
+	}
+	if pi.next >= pi.pages {
+		return 10 * sim.Millisecond, false, nil
+	}
+	return consumed, false, nil
+}
+
+func TestKhugepagedPromotesFragmentedProcess(t *testing.T) {
+	pol := NewLinuxTHP()
+	pol.ScanRate = 50 // speed up for the test
+	k := testKernel(256, pol)
+	k.FragmentMemory(0.1) // no huge faults possible
+	p := k.Spawn("app", &populateThenIdle{pages: 4 * mem.HugePages})
+	if err := k.Run(60 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p.Acct.HugeFaults != 0 {
+		t.Fatal("setup: huge faults should have been impossible")
+	}
+	// khugepaged must have compacted + promoted in the background.
+	if p.VP.HugeMapped() < 3 {
+		t.Fatalf("khugepaged promoted %d regions, want >= 3", p.VP.HugeMapped())
+	}
+}
+
+func TestKhugepagedFCFSOrder(t *testing.T) {
+	pol := NewLinuxTHP()
+	pol.ScanRate = 2
+	k := testKernel(512, pol)
+	k.FragmentMemory(0.1)
+	p1 := k.Spawn("first", &populateThenIdle{pages: 20 * mem.HugePages})
+	p2 := k.Spawn("second", &populateThenIdle{pages: 20 * mem.HugePages})
+	if err := k.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	// With FCFS at a low scan rate, the first process should receive all
+	// early promotions.
+	if p1.VP.HugeMapped() == 0 {
+		t.Fatal("first process got no promotions")
+	}
+	if p2.VP.HugeMapped() > 0 {
+		t.Fatalf("second process promoted before first finished: p1=%d p2=%d",
+			p1.VP.HugeMapped(), p2.VP.HugeMapped())
+	}
+}
+
+func TestFreeBSDReservesAndPromotesInPlace(t *testing.T) {
+	k := testKernel(256, NewFreeBSD())
+	p := k.Spawn("app", &populateThenIdle{pages: 2 * mem.HugePages})
+	if err := k.Run(20 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Fully-populated reservations promote without copies.
+	if p.VP.Stats.InPlace < 2 {
+		t.Fatalf("in-place promotions = %d, want 2", p.VP.Stats.InPlace)
+	}
+	if p.VP.Stats.Promotions != p.VP.Stats.InPlace {
+		t.Fatal("FreeBSD should never copy-promote")
+	}
+}
+
+func TestFreeBSDReleasesReservationsUnderPressure(t *testing.T) {
+	pol := NewFreeBSD()
+	pol.PressureFraction = 0.5
+	k := testKernel(64, pol)
+	// Sparsely populate many regions: 1 page per region, 24 regions of
+	// reservations = 48 MB reserved on a 64 MB machine.
+	prog := &sparseToucher{regions: 24}
+	p := k.Spawn("sparse", prog)
+	if err := k.Run(20 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Pressure (>50% used) must have broken reservations: allocated pages
+	// fall back toward the truly-used count.
+	if used := k.Alloc.TagPages(mem.TagAnon); used > 30*mem.HugePages/2 {
+		t.Fatalf("reservations not released: %d anon pages", used)
+	}
+	_ = p
+}
+
+// sparseToucher writes one page in each of N regions, then idles.
+type sparseToucher struct {
+	regions int
+	next    int
+}
+
+func (st *sparseToucher) Step(k *kernel.Kernel, p *kernel.Proc) (sim.Time, bool, error) {
+	var consumed sim.Time
+	for st.next < st.regions {
+		c, err := k.Touch(p, vmmVPN(st.next)*mem.HugePages, true)
+		if err != nil {
+			return consumed, false, err
+		}
+		consumed += c
+		st.next++
+	}
+	return 10 * sim.Millisecond, false, nil
+}
+
+func TestIngensBaseAtFault(t *testing.T) {
+	k := testKernel(256, NewIngens())
+	inst := workload.Microbench(50<<20, 1, 1)
+	p := k.Spawn("m", inst.Program)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.Acct.HugeFaults != 0 {
+		t.Fatal("Ingens allocated huge pages in the fault path")
+	}
+}
+
+func TestIngensAggressiveWhenUnfragmented(t *testing.T) {
+	pol := NewIngens()
+	pol.ScanRate = 50
+	k := testKernel(256, pol)
+	// Sparse regions (one page each): aggressive phase promotes them
+	// because FMFI is 0 on an unfragmented machine.
+	p := k.Spawn("sparse", &sparseToucher{regions: 8})
+	if err := k.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p.VP.HugeMapped() < 8 {
+		t.Fatalf("aggressive Ingens promoted %d, want 8", p.VP.HugeMapped())
+	}
+}
+
+func TestIngensConservativeWhenFragmented(t *testing.T) {
+	pol := NewIngens()
+	pol.ScanRate = 50
+	k := testKernel(256, pol)
+	k.FragmentMemory(0.25)
+	// One page per region: utilization 1/512 < 90%: conservative Ingens
+	// must refuse to promote even though compaction could build blocks.
+	p := k.Spawn("sparse", &sparseToucher{regions: 8})
+	if err := k.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p.VP.HugeMapped() != 0 {
+		t.Fatalf("conservative Ingens promoted %d sparse regions", p.VP.HugeMapped())
+	}
+}
+
+func TestIngensUtilVariantFixedThreshold(t *testing.T) {
+	pol := NewIngensUtil(0.5)
+	pol.ScanRate = 50
+	k := testKernel(512, pol)
+	p := k.Spawn("app", &partialToucher{regions: 4, fill: 0.6})
+	if err := k.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	// 60% populated ≥ 50% threshold: promoted even on unfragmented memory
+	// where the FMFI pivot is irrelevant (threshold pinned).
+	if p.VP.HugeMapped() != 4 {
+		t.Fatalf("Ingens-50%% promoted %d of 4 regions", p.VP.HugeMapped())
+	}
+	k2 := testKernel(512, NewIngensUtil(0.9))
+	p2 := k2.Spawn("app", &partialToucher{regions: 4, fill: 0.6})
+	if err := k2.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p2.VP.HugeMapped() != 0 {
+		t.Fatalf("Ingens-90%% promoted %d regions at 60%% fill", p2.VP.HugeMapped())
+	}
+}
+
+// partialToucher fills a fraction of each of N regions.
+type partialToucher struct {
+	regions int
+	fill    float64
+	nextR   int
+	nextP   int
+}
+
+func (pt *partialToucher) Step(k *kernel.Kernel, p *kernel.Proc) (sim.Time, bool, error) {
+	per := int(pt.fill * mem.HugePages)
+	var consumed sim.Time
+	for pt.nextR < pt.regions {
+		for pt.nextP < per {
+			c, err := k.Touch(p, vmmVPN(pt.nextR)*mem.HugePages+vmmVPN(pt.nextP), true)
+			if err != nil {
+				return consumed, false, err
+			}
+			consumed += c
+			pt.nextP++
+		}
+		pt.nextR++
+		pt.nextP = 0
+	}
+	return 10 * sim.Millisecond, false, nil
+}
+
+func TestIngensFairnessPrefersFewerHugePages(t *testing.T) {
+	pol := NewIngens()
+	pol.ScanRate = 1
+	k := testKernel(512, pol)
+	rich := k.Spawn("rich", &partialToucher{regions: 10, fill: 1})
+	poor := k.Spawn("poor", &partialToucher{regions: 10, fill: 1})
+	if err := k.Run(25 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Share-based fairness: promotions alternate, so after 20 ticks the
+	// two processes should have nearly equal huge pages.
+	diff := rich.VP.HugeMapped() - poor.VP.HugeMapped()
+	if diff < -2 || diff > 2 {
+		t.Fatalf("unfair promotion split: rich=%d poor=%d", rich.VP.HugeMapped(), poor.VP.HugeMapped())
+	}
+}
+
+// vmmVPN is a local alias to keep test helpers terse.
+type vmmVPN = vmm.VPN

@@ -1,0 +1,118 @@
+package sim
+
+// Rand is a small, fast, deterministic PRNG (xoshiro256**) seeded through
+// splitmix64. It intentionally avoids math/rand so that simulator results
+// are stable across Go releases.
+type Rand struct {
+	s [4]uint64
+}
+
+// NewRand returns a generator seeded from seed via splitmix64.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	// A state of all zeros would be degenerate; splitmix64 never yields it
+	// for all four words, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	res := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return res
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Geometric draws from a geometric distribution with mean ≈ mean, clamped to
+// [0, max]. Used by the page-content generator for first-non-zero offsets.
+func (r *Rand) Geometric(mean float64, max int) int {
+	if mean <= 0 {
+		return 0
+	}
+	// Inverse-CDF sampling: X = floor(ln(U)/ln(1-p)), p = 1/(mean+1).
+	p := 1.0 / (mean + 1.0)
+	u := r.Float64()
+	if u == 0 {
+		u = 0.5
+	}
+	x := 0
+	q := 1 - p
+	acc := q
+	// Iterative draw avoids math.Log and stays deterministic and cheap for
+	// the small means used here.
+	for u < acc && x < max {
+		x++
+		acc *= q
+	}
+	if x > max {
+		x = max
+	}
+	return x
+}
+
+// Shuffle permutes the first n elements using swap, Fisher–Yates style.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Fork derives an independent generator; useful for giving each workload its
+// own stream so adding a workload does not perturb the others.
+func (r *Rand) Fork() *Rand {
+	return NewRand(r.Uint64())
+}

@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvances(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock at %v, want 0", c.Now())
+	}
+	c.Advance(5 * Second)
+	if c.Now() != 5*Second {
+		t.Fatalf("clock at %v, want 5s", c.Now())
+	}
+	c.Advance(5 * Second) // same instant is allowed
+}
+
+func TestClockBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on backwards clock")
+		}
+	}()
+	var c Clock
+	c.Advance(Second)
+	c.Advance(Millisecond)
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500µs"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000s"},
+		{90 * Second, "1.50min"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.AfterFunc(3*Second, "c", func(*Engine) error { got = append(got, 3); return nil })
+	e.AfterFunc(1*Second, "a", func(*Engine) error { got = append(got, 1); return nil })
+	e.AfterFunc(2*Second, "b", func(*Engine) error { got = append(got, 2); return nil })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", got)
+	}
+	if e.Now() != 3*Second {
+		t.Fatalf("clock at %v, want 3s", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.AfterFunc(Second, "x", func(*Engine) error { got = append(got, i); return nil })
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant order = %v, want FIFO", got)
+		}
+	}
+}
+
+func TestEngineDeadline(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.AfterFunc(10*Second, "late", func(*Engine) error { fired = true; return nil })
+	if err := e.Run(2 * Second); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("event past deadline fired")
+	}
+	if e.Now() != 2*Second {
+		t.Fatalf("clock at %v, want deadline 2s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineErrorPropagates(t *testing.T) {
+	e := NewEngine(1)
+	boom := errors.New("boom")
+	e.AfterFunc(Second, "bad", func(*Engine) error { return boom })
+	err := e.Run(0)
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want wrapped boom", err)
+	}
+}
+
+func TestEngineEvery(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	e.Every(Second, "tick", func(*Engine) (bool, error) {
+		n++
+		return n < 5, nil
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("ticks = %d, want 5", n)
+	}
+	if e.Now() != 5*Second {
+		t.Fatalf("clock at %v, want 5s", e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	e.Every(Second, "tick", func(en *Engine) (bool, error) {
+		n++
+		if n == 3 {
+			en.Stop()
+		}
+		return true, nil
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("ticks = %d, want 3 (stopped)", n)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRand(42).Uint64() == c.Uint64() && i > 0 {
+			continue
+		}
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRandIntnBounds(t *testing.T) {
+	r := NewRand(7)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRandPermIsPermutation(t *testing.T) {
+	r := NewRand(11)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandGeometricMean(t *testing.T) {
+	r := NewRand(13)
+	const n = 200000
+	sum := 0
+	for i := 0; i < n; i++ {
+		v := r.Geometric(9.0, 4095)
+		if v < 0 || v > 4095 {
+			t.Fatalf("geometric out of range: %d", v)
+		}
+		sum += v
+	}
+	mean := float64(sum) / n
+	if mean < 7.5 || mean > 10.5 {
+		t.Fatalf("geometric mean = %.2f, want ≈ 9", mean)
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	var clock Clock
+	rec := NewRecorder(&clock)
+	rec.Record("x", 1)
+	clock.Advance(Second)
+	rec.Record("x", 3)
+	clock.Advance(2 * Second)
+	rec.Record("x", 2)
+	s := rec.Series("x")
+	if s.Last() != 2 || s.Max() != 3 || s.Min() != 1 || s.Mean() != 2 {
+		t.Fatalf("stats wrong: last=%v max=%v min=%v mean=%v", s.Last(), s.Max(), s.Min(), s.Mean())
+	}
+	if v := s.At(Second + Millisecond); v != 3 {
+		t.Fatalf("At(1s+) = %v, want 3", v)
+	}
+	if v := s.At(0); v != 1 {
+		t.Fatalf("At(0) = %v, want 1", v)
+	}
+}
+
+func TestRecorderNamesOrdered(t *testing.T) {
+	var clock Clock
+	rec := NewRecorder(&clock)
+	rec.Record("b", 1)
+	rec.Record("a", 1)
+	rec.Record("b", 2)
+	names := rec.Names()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Fatalf("names = %v, want [b a]", names)
+	}
+	if rec.Dump() == "" {
+		t.Fatal("empty dump")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Clock.Advance(Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.At(Millisecond, "past", EventFunc(func(*Engine) error { return nil }))
+}

@@ -1,0 +1,58 @@
+package tlb
+
+// PMU models the per-core hardware counters of Table 4:
+//
+//	C1 DTLB_LOAD_MISSES_WALK_DURATION
+//	C2 DTLB_STORE_MISSES_WALK_DURATION   (folded into WalkCycles here)
+//	C3 CPU_CLK_UNHALTED
+//	MMU overhead = (C1+C2)*100 / C3
+//
+// HawkEye-PMU reads these counters per process; the simulator maintains one
+// PMU per process, advanced by the execution model each quantum. Both a
+// cumulative view and a recent window (what a sampling daemon would see)
+// are exposed.
+type PMU struct {
+	WalkCycles  float64 // C1+C2, cumulative
+	TotalCycles float64 // C3, cumulative
+
+	// Recent-window snapshot, maintained by EndWindow.
+	winWalk   float64
+	winTotal  float64
+	lastWalk  float64
+	lastTotal float64
+	hasWindow bool
+}
+
+// Add charges cycles to the counters.
+func (p *PMU) Add(walkCycles, totalCycles float64) {
+	p.WalkCycles += walkCycles
+	p.TotalCycles += totalCycles
+}
+
+// Overhead reports the cumulative MMU overhead in [0,1].
+func (p *PMU) Overhead() float64 {
+	if p.TotalCycles == 0 {
+		return 0
+	}
+	return p.WalkCycles / p.TotalCycles
+}
+
+// EndWindow closes the current sampling window; RecentOverhead then reports
+// the overhead observed within the last closed window, which is what a
+// periodic profiler (HawkEye-PMU's sampler) acts on.
+func (p *PMU) EndWindow() {
+	p.winWalk = p.WalkCycles - p.lastWalk
+	p.winTotal = p.TotalCycles - p.lastTotal
+	p.lastWalk = p.WalkCycles
+	p.lastTotal = p.TotalCycles
+	p.hasWindow = true
+}
+
+// RecentOverhead reports the MMU overhead of the last closed window, or the
+// cumulative overhead if no window has been closed yet.
+func (p *PMU) RecentOverhead() float64 {
+	if !p.hasWindow || p.winTotal == 0 {
+		return p.Overhead()
+	}
+	return p.winWalk / p.winTotal
+}

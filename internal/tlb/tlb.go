@@ -1,0 +1,244 @@
+// Package tlb models the address-translation hardware the paper measures:
+// a two-level TLB with separate L1 arrays for 4 KB and 2 MB entries and a
+// unified L2 (the Haswell-EP configuration of the evaluation platform), a
+// page-walk-cost model in which access locality determines how much of the
+// walk hits the page-walk caches, and the PMU counters of Table 4
+// (DTLB_*_WALK_DURATION / CPU_CLK_UNHALTED) from which MMU overhead is
+// computed as walk cycles over total cycles.
+package tlb
+
+// Config describes the simulated TLB hierarchy and walk-cost model.
+type Config struct {
+	L1BaseEntries int // 4 KB L1 entries
+	L1BaseAssoc   int
+	L1HugeEntries int // 2 MB L1 entries
+	L1HugeAssoc   int
+	L2Entries     int // unified second-level entries
+	L2Assoc       int
+
+	// L2HitCycles is the penalty for an L1 miss that hits in the L2 TLB.
+	L2HitCycles int
+	// WalkCyclesMin is the cost of a page walk served almost entirely from
+	// page-walk caches and the data caches (high-locality access patterns).
+	WalkCyclesMin int
+	// WalkCyclesMax is the cost of a walk that misses the paging-structure
+	// caches and goes to DRAM (random access over a large footprint).
+	WalkCyclesMax int
+	// HugeWalkDiscount scales walk cost for 2 MB mappings (one less level).
+	HugeWalkDiscount float64
+	// NestedMultiplier scales walk cost under nested paging (EPT 2-D walks).
+	NestedMultiplier float64
+}
+
+// HaswellEP returns the evaluation platform of the paper: L1 64×4K (4-way)
+// + 8×2M (full), unified L2 1024 entries (8-way).
+func HaswellEP() Config {
+	return Config{
+		L1BaseEntries:    64,
+		L1BaseAssoc:      4,
+		L1HugeEntries:    8,
+		L1HugeAssoc:      8,
+		L2Entries:        1024,
+		L2Assoc:          8,
+		L2HitCycles:      7,
+		WalkCyclesMin:    25,
+		WalkCyclesMax:    160,
+		HugeWalkDiscount: 0.7,
+		NestedMultiplier: 3.5,
+	}
+}
+
+// entry is one TLB entry.
+type entry struct {
+	pid   int32
+	page  int64 // VPN for 4 KB entries, region index for 2 MB entries
+	huge  bool
+	valid bool
+	lru   uint64
+}
+
+// setAssoc is a set-associative array with LRU replacement.
+type setAssoc struct {
+	sets  [][]entry
+	assoc int
+	tick  uint64
+}
+
+func newSetAssoc(entries, assoc int) *setAssoc {
+	if entries < assoc {
+		assoc = entries
+	}
+	nsets := entries / assoc
+	if nsets < 1 {
+		nsets = 1
+	}
+	s := &setAssoc{assoc: assoc, sets: make([][]entry, nsets)}
+	for i := range s.sets {
+		s.sets[i] = make([]entry, assoc)
+	}
+	return s
+}
+
+func (s *setAssoc) setFor(page int64) []entry {
+	idx := uint64(page) % uint64(len(s.sets))
+	return s.sets[idx]
+}
+
+// lookup probes without inserting.
+func (s *setAssoc) lookup(pid int32, page int64, huge bool) bool {
+	s.tick++
+	set := s.setFor(page)
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.pid == pid && e.page == page && e.huge == huge {
+			e.lru = s.tick
+			return true
+		}
+	}
+	return false
+}
+
+// insert fills the entry, evicting LRU.
+func (s *setAssoc) insert(pid int32, page int64, huge bool) {
+	s.tick++
+	set := s.setFor(page)
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = entry{pid: pid, page: page, huge: huge, valid: true, lru: s.tick}
+}
+
+// invalidate drops matching entries.
+func (s *setAssoc) invalidate(match func(e *entry) bool) {
+	for _, set := range s.sets {
+		for i := range set {
+			if set[i].valid && match(&set[i]) {
+				set[i].valid = false
+			}
+		}
+	}
+}
+
+// Outcome classifies one translation.
+type Outcome int
+
+// Translation outcomes.
+const (
+	HitL1 Outcome = iota
+	HitL2
+	Miss
+)
+
+// TLB is the simulated two-level TLB.
+type TLB struct {
+	cfg    Config
+	l1Base *setAssoc
+	l1Huge *setAssoc
+	l2     *setAssoc
+
+	Lookups int64
+	L1Hits  int64
+	L2Hits  int64
+	Misses  int64
+}
+
+// New creates a TLB with the given configuration.
+func New(cfg Config) *TLB {
+	return &TLB{
+		cfg:    cfg,
+		l1Base: newSetAssoc(cfg.L1BaseEntries, cfg.L1BaseAssoc),
+		l1Huge: newSetAssoc(cfg.L1HugeEntries, cfg.L1HugeAssoc),
+		l2:     newSetAssoc(cfg.L2Entries, cfg.L2Assoc),
+	}
+}
+
+// Config returns the TLB's configuration.
+func (t *TLB) Config() Config { return t.cfg }
+
+// Access translates (pid, page) where page is a VPN for base mappings or a
+// region index for huge mappings, updating the hierarchy.
+func (t *TLB) Access(pid int32, page int64, huge bool) Outcome {
+	t.Lookups++
+	l1 := t.l1Base
+	if huge {
+		l1 = t.l1Huge
+	}
+	if l1.lookup(pid, page, huge) {
+		t.L1Hits++
+		return HitL1
+	}
+	if t.l2.lookup(pid, page, huge) {
+		t.L2Hits++
+		l1.insert(pid, page, huge)
+		return HitL2
+	}
+	t.Misses++
+	l1.insert(pid, page, huge)
+	t.l2.insert(pid, page, huge)
+	return Miss
+}
+
+// MissRate reports misses/lookups so far.
+func (t *TLB) MissRate() float64 {
+	if t.Lookups == 0 {
+		return 0
+	}
+	return float64(t.Misses) / float64(t.Lookups)
+}
+
+// InvalidateProcess flushes every entry of a process (exit, large unmap).
+func (t *TLB) InvalidateProcess(pid int32) {
+	match := func(e *entry) bool { return e.pid == pid }
+	t.l1Base.invalidate(match)
+	t.l1Huge.invalidate(match)
+	t.l2.invalidate(match)
+}
+
+// InvalidateRegion flushes the entries covering one 2 MB region of a
+// process (promotion/demotion changed the mapping granularity).
+func (t *TLB) InvalidateRegion(pid int32, region int64) {
+	lo, hi := region<<9, (region+1)<<9
+	match := func(e *entry) bool {
+		if e.pid != pid {
+			return false
+		}
+		if e.huge {
+			return e.page == region
+		}
+		return e.page >= lo && e.page < hi
+	}
+	t.l1Base.invalidate(match)
+	t.l1Huge.invalidate(match)
+	t.l2.invalidate(match)
+}
+
+// Locality expresses how friendly an access pattern is to the page-walk
+// caches; it interpolates the walk cost between WalkCyclesMin and Max.
+// 0 = perfectly sequential/strided (prefetch + PWC absorb the walk),
+// 1 = uniform random over a large footprint (walks go to DRAM).
+type Locality float64
+
+// WalkCycles returns the modelled cost in cycles of one page walk.
+func (t *TLB) WalkCycles(loc Locality, huge, nested bool) float64 {
+	if loc < 0 {
+		loc = 0
+	}
+	if loc > 1 {
+		loc = 1
+	}
+	c := float64(t.cfg.WalkCyclesMin) + float64(loc)*float64(t.cfg.WalkCyclesMax-t.cfg.WalkCyclesMin)
+	if huge {
+		c *= t.cfg.HugeWalkDiscount
+	}
+	if nested {
+		c *= t.cfg.NestedMultiplier
+	}
+	return c
+}

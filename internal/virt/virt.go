@@ -1,0 +1,347 @@
+// Package virt models virtualized execution for the paper's Fig. 9 and
+// Fig. 11 experiments: guest machines (each a full kernel simulation with
+// its own huge-page policy) co-simulated with a host kernel whose policy
+// manages the guest-physical (GPA) → host-physical mappings. Guest
+// translations pay nested (EPT-style) walk costs, discounted when the host
+// backs the guest's memory with huge pages. Cross-VM memory sharing is
+// modelled three ways: none, balloon driver, and HawkEye's pre-zeroing +
+// host same-page merging; under overcommit, unmapped guest memory costs
+// swap-level slowdowns.
+package virt
+
+import (
+	"fmt"
+
+	"hawkeye/internal/kernel"
+	"hawkeye/internal/mem"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/vmm"
+)
+
+// SharingMode selects how guest free memory returns to the host (Fig. 11).
+type SharingMode int
+
+// Sharing modes.
+const (
+	// NoSharing: guest memory, once touched, stays resident at the host.
+	NoSharing SharingMode = iota
+	// Balloon: a paravirtual balloon returns all guest-free pages.
+	Balloon
+	// PrezeroKSM: guest pre-zeroing + host same-page merging reclaims
+	// guest-free pages that have been zeroed (HawkEye's fully-virtual
+	// alternative to ballooning).
+	PrezeroKSM
+)
+
+func (m SharingMode) String() string {
+	switch m {
+	case Balloon:
+		return "balloon"
+	case PrezeroKSM:
+		return "prezero+ksm"
+	default:
+		return "none"
+	}
+}
+
+// Host co-simulates a host kernel and its guests.
+type Host struct {
+	K       *kernel.Kernel
+	Sharing SharingMode
+	// SwapSlowdownPerGB is the guest slowdown per swapped-out GB (paging
+	// to SSD destroys throughput).
+	SwapSlowdownPerGB float64
+	// SyncPeriod is how often GPA mirroring and sharing reconcile.
+	SyncPeriod sim.Time
+
+	vms []*VM
+}
+
+// VM is one guest machine.
+type VM struct {
+	Name     string
+	MemBytes int64
+	Guest    *kernel.Kernel
+	HostProc *kernel.Proc
+
+	host *Host
+
+	highWater  int64 // max guest pages ever allocated (host must back them)
+	sharedNow  int64 // host pages currently reclaimed via sharing
+	swapped    int64 // guest pages the host could not back (on swap)
+	mirrorNext int64 // mirroring cursor
+}
+
+// NewHost creates a host machine with its own policy (may be nil for a
+// policy-less host that just backs memory).
+func NewHost(cfg kernel.Config, pol kernel.Policy, sharing SharingMode) *Host {
+	return &Host{
+		K:                 kernel.New(cfg, pol),
+		Sharing:           sharing,
+		SwapSlowdownPerGB: 3.0,
+		SyncPeriod:        250 * sim.Millisecond,
+	}
+}
+
+// AddVM boots a guest with memBytes of RAM and its own policy. The guest
+// shares the host's event engine and clock.
+func (h *Host) AddVM(name string, memBytes int64, guestPolicy kernel.Policy) *VM {
+	gcfg := h.K.Cfg
+	gcfg.MemoryBytes = memBytes
+	gcfg.Engine = h.K.Engine
+	guest := kernel.New(gcfg, guestPolicy)
+	vm := &VM{
+		Name:     name,
+		MemBytes: memBytes,
+		Guest:    guest,
+		host:     h,
+	}
+	vm.HostProc = h.K.Spawn("vm:"+name, &mirror{vm: vm})
+	h.vms = append(h.vms, vm)
+	return vm
+}
+
+// VMs returns the guests in boot order.
+func (h *Host) VMs() []*VM { return h.vms }
+
+// Spawn starts a guest program inside the VM; its translations are nested.
+func (v *VM) Spawn(name string, prog kernel.Program) *kernel.Proc {
+	p := v.Guest.Spawn(name, prog)
+	p.Nested = true
+	p.NestedDiscount = 1
+	return p
+}
+
+// SpawnAt starts a guest program after a delay.
+func (v *VM) SpawnAt(delay sim.Time, name string, prog kernel.Program) *kernel.Proc {
+	p := v.Guest.SpawnAt(delay, name, prog)
+	p.Nested = true
+	p.NestedDiscount = 1
+	return p
+}
+
+// Swapped reports guest pages currently unbacked at the host.
+func (v *VM) Swapped() int64 { return v.swapped }
+
+// SharedPages reports host pages reclaimed from this VM via sharing.
+func (v *VM) SharedPages() int64 { return v.sharedNow }
+
+// hotHugeFraction reports the huge-mapped fraction of the VM's
+// recently-accessed host regions (sampled).
+func (v *VM) hotHugeFraction() float64 {
+	hot, hotHuge := 0, 0
+	for _, r := range v.HostProc.VP.RegionsInOrder() {
+		if r.Huge {
+			if r.HugeAccessed() {
+				hot++
+				hotHuge++
+			}
+			continue
+		}
+		// Sample a few slots for access bits.
+		accessed := false
+		for slot := 0; slot < mem.HugePages; slot += mem.HugePages / 16 {
+			pte := r.PTEs[slot]
+			if pte.Present() && pte.Accessed() {
+				accessed = true
+				break
+			}
+		}
+		if accessed {
+			hot++
+		}
+	}
+	if hot == 0 {
+		return v.HostHugeFraction()
+	}
+	return float64(hotHuge) / float64(hot)
+}
+
+// HostHugeFraction reports how much of this VM's resident GPA space the
+// host maps with huge pages.
+func (v *VM) HostHugeFraction() float64 {
+	rss := v.HostProc.VP.RSS()
+	if rss <= 0 {
+		return 0
+	}
+	f := float64(v.HostProc.VP.HugeMapped()*mem.HugePages) / float64(rss)
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// mirror is the host-side program of a VM: it keeps the host mappings in
+// sync with guest physical allocation, applies the sharing mode, updates
+// nested-walk discounts and swap pressure.
+type mirror struct {
+	vm *VM
+}
+
+func (m *mirror) Step(k *kernel.Kernel, p *kernel.Proc) (sim.Time, bool, error) {
+	v := m.vm
+	h := v.host
+	var consumed sim.Time
+
+	// 1. The guest's allocated physical memory must be backed at the host.
+	// Guest buddy allocation is bottom-biased, so the host sees a dense
+	// prefix of the GPA space; the high-water mark only grows (the host
+	// cannot observe guest frees without paravirtual help).
+	guestUsed := v.Guest.Alloc.AllocatedPages()
+	if peak := v.Guest.Alloc.PeakAllocated(); peak > v.highWater {
+		// The allocator's high-water mark never misses transient peaks
+		// between sync pulses: every one of those pages faulted at the host.
+		v.highWater = peak
+	}
+
+	// 2. Sharing returns memory to the host from the top of the mirrored
+	// range: balloon offers all guest-free pages, prezero+KSM only the
+	// zero-filled ones (they merge onto the host zero page).
+	var sharable int64
+	switch h.Sharing {
+	case Balloon:
+		sharable = v.Guest.Alloc.FreePages()
+	case PrezeroKSM:
+		sharable = v.Guest.Alloc.ZeroFreePages()
+	}
+	// Guest pages never touched (beyond the high-water mark) were never
+	// backed at the host; they contribute nothing to sharing.
+	if beyond := v.Guest.Alloc.TotalPages() - v.highWater; beyond > 0 {
+		sharable -= beyond
+	}
+	if max := v.highWater - guestUsed; sharable > max {
+		// Pages in active guest use are never sharable: the cap keeps the
+		// window inside the free span even right after a burst.
+		sharable = max
+	}
+	if sharable < 0 {
+		sharable = 0
+	}
+
+	// 3. Back the resident span [0, highWater-sharable) at the host; pages
+	// beyond the sharing window that we previously madvised re-fault here.
+	target := v.highWater - sharable
+	v.swapped = 0
+	for vpn := v.mirrorNext; vpn < target; vpn++ {
+		c, err := k.Touch(p, vmm.VPN(vpn), true)
+		if err != nil {
+			// Host memory exhausted: the rest of this VM's span is swapped.
+			v.swapped = target - vpn
+			break
+		}
+		consumed += c
+		v.mirrorNext = vpn + 1
+	}
+	if grow := sharable - v.sharedNow; grow > 0 {
+		// The sharing window grew: release pages to the host.
+		consumed += k.Madvise(p, vmm.VPN(target), grow)
+		if v.mirrorNext > target {
+			v.mirrorNext = target
+		}
+	}
+	v.sharedNow = sharable
+
+	// 4. EPT access-bit harvesting: guest-side access bits are reflected
+	// onto the host mappings of the corresponding guest-physical frames,
+	// so a host-side HawkEye can see which GPA regions are hot. (Hardware
+	// EPT keeps its own accessed bits; harvesting them is exactly what a
+	// host kernel would sample.)
+	consumed += m.harvestAccessBits(k, p)
+
+	// 5. Nested-walk discount: what matters for walk latency is whether
+	// the translations the guest actually *uses* are huge at the host, so
+	// the discount follows the huge fraction of recently-accessed (hot,
+	// per harvested EPT bits) GPA regions. A fully huge-backed hot set
+	// does ≈ 2.2/3.5 of the worst-case 2-D walk.
+	discount := 1.0 - 0.37*v.hotHugeFraction()
+	for _, gp := range v.Guest.Procs() {
+		gp.NestedDiscount = discount
+	}
+
+	// 6. Swap pressure slows every guest program of this VM.
+	slow := 1.0
+	if v.swapped > 0 {
+		gb := float64(v.swapped) * mem.PageSize / float64(1<<30)
+		slow += h.SwapSlowdownPerGB * gb
+	}
+	v.Guest.SlowdownFactor = slow
+
+	if consumed < sim.Microsecond {
+		consumed = sim.Microsecond
+	}
+	// Reschedule at the sync period regardless of work done.
+	if consumed < h.SyncPeriod {
+		consumed = h.SyncPeriod
+	}
+	return consumed, false, nil
+}
+
+// harvestAccessBits samples accessed guest PTEs and touches their backing
+// host pages (read-only), propagating guest hotness to host access bits.
+func (m *mirror) harvestAccessBits(k *kernel.Kernel, p *kernel.Proc) sim.Time {
+	var consumed sim.Time
+	const perRegion = 8
+	budget := 4096 // host touches per sync
+	for _, gp := range m.vm.Guest.VMM.Processes() {
+		for _, r := range gp.RegionsInOrder() {
+			if budget <= 0 {
+				return consumed
+			}
+			if r.Huge {
+				if r.HugeAccessed() {
+					if c, err := k.Touch(p, vmm.VPN(r.HugeFrame), false); err == nil {
+						consumed += c
+						budget--
+					}
+				}
+				continue
+			}
+			touched := 0
+			for slot := 0; slot < mem.HugePages && touched < perRegion && budget > 0; slot += mem.HugePages / perRegion {
+				pte := r.PTEs[slot]
+				if !pte.Present() || !pte.Accessed() || pte.COW() {
+					continue
+				}
+				if int64(pte.Frame) >= m.vm.highWater {
+					continue
+				}
+				if c, err := k.Touch(p, vmm.VPN(pte.Frame), false); err == nil {
+					consumed += c
+					budget--
+					touched++
+				}
+			}
+		}
+	}
+	return consumed
+}
+
+// Run drives host and guests until the deadline.
+func (h *Host) Run(deadline sim.Time) error {
+	if deadline <= 0 {
+		return fmt.Errorf("virt: Run requires a deadline (mirrors never finish)")
+	}
+	return h.K.Run(deadline)
+}
+
+// GuestsDone reports whether every guest program of every VM finished.
+func (h *Host) GuestsDone() bool {
+	for _, v := range h.vms {
+		if len(v.Guest.LiveProcs()) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RunUntilGuestsDone runs until all guest programs finish or the deadline.
+func (h *Host) RunUntilGuestsDone(deadline sim.Time) error {
+	h.K.Engine.Every(sim.Second, "guests-done", func(e *sim.Engine) (bool, error) {
+		if h.GuestsDone() {
+			e.Stop()
+			return false, nil
+		}
+		return true, nil
+	})
+	return h.Run(deadline)
+}

@@ -1,0 +1,255 @@
+package virt
+
+import (
+	"testing"
+
+	"hawkeye/internal/core"
+	"hawkeye/internal/kernel"
+	"hawkeye/internal/mem"
+	"hawkeye/internal/policy"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/vmm"
+	"hawkeye/internal/workload"
+)
+
+func hostConfig(mb int64) kernel.Config {
+	cfg := kernel.DefaultConfig()
+	cfg.MemoryBytes = mb << 20
+	return cfg
+}
+
+// toucher writes n pages then idles.
+type toucher struct {
+	pages int64
+	next  int64
+}
+
+func (tc *toucher) Step(k *kernel.Kernel, p *kernel.Proc) (sim.Time, bool, error) {
+	var consumed sim.Time
+	for tc.next < tc.pages && consumed < k.Cfg.Quantum {
+		c, err := k.Touch(p, vmm.VPN(tc.next), true)
+		if err != nil {
+			return consumed, false, err
+		}
+		consumed += c
+		tc.next++
+	}
+	return consumed + sim.Millisecond, false, nil
+}
+
+func TestHostBacksGuestMemory(t *testing.T) {
+	h := NewHost(hostConfig(512), policy.NewLinuxTHP(), NoSharing)
+	vm := h.AddVM("vm1", 128<<20, policy.NewLinuxTHP())
+	vm.Spawn("app", &toucher{pages: 5000})
+	if err := h.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Guest allocated ≥ 5000 pages; host must back them (plus guest slack).
+	if vm.HostProc.VP.RSS() < 5000 {
+		t.Fatalf("host backs %d pages, guest used %d",
+			vm.HostProc.VP.RSS(), vm.Guest.Alloc.AllocatedPages())
+	}
+	if vm.Swapped() != 0 {
+		t.Fatalf("unexpected swap: %d", vm.Swapped())
+	}
+}
+
+func TestGuestProcsAreNested(t *testing.T) {
+	h := NewHost(hostConfig(512), policy.NewLinuxTHP(), NoSharing)
+	vm := h.AddVM("vm1", 128<<20, policy.NewLinuxTHP())
+	p := vm.Spawn("app", &toucher{pages: 100})
+	if !p.Nested {
+		t.Fatal("guest proc not nested")
+	}
+	if err := h.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHostHugeBackingLowersNestedDiscount(t *testing.T) {
+	h := NewHost(hostConfig(512), policy.NewLinuxTHP(), NoSharing)
+	vm := h.AddVM("vm1", 128<<20, policy.NewLinuxTHP())
+	p := vm.Spawn("app", &toucher{pages: 8 * mem.HugePages})
+	if err := h.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if vm.HostHugeFraction() < 0.5 {
+		t.Fatalf("host huge fraction = %.2f with THP host", vm.HostHugeFraction())
+	}
+	if p.NestedDiscount >= 1 {
+		t.Fatalf("nested discount = %v, want < 1 with huge host backing", p.NestedDiscount)
+	}
+}
+
+func TestOvercommitSwapsWithoutSharing(t *testing.T) {
+	// Host 256 MB, two VMs of 192 MB each: 1.5× overcommit.
+	h := NewHost(hostConfig(256), policy.NewNone(), NoSharing)
+	vm1 := h.AddVM("vm1", 192<<20, policy.NewLinuxTHP())
+	vm2 := h.AddVM("vm2", 192<<20, policy.NewLinuxTHP())
+	// Each guest touches ~170 MB then frees most of it.
+	vm1.Spawn("a", &touchFree{pages: 43000})
+	vm2.Spawn("b", &touchFree{pages: 43000})
+	if err := h.Run(30 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if vm1.Swapped()+vm2.Swapped() == 0 {
+		t.Fatal("1.5x overcommit without sharing must swap")
+	}
+	if vm1.Guest.SlowdownFactor <= 1 && vm2.Guest.SlowdownFactor <= 1 {
+		t.Fatal("swap pressure did not slow guests")
+	}
+}
+
+// touchFree touches pages, then releases 80% and idles.
+type touchFree struct {
+	pages int64
+	next  int64
+	freed bool
+}
+
+func (tf *touchFree) Step(k *kernel.Kernel, p *kernel.Proc) (sim.Time, bool, error) {
+	var consumed sim.Time
+	for tf.next < tf.pages && consumed < k.Cfg.Quantum {
+		c, err := k.Touch(p, vmm.VPN(tf.next), true)
+		if err != nil {
+			return consumed, false, err
+		}
+		consumed += c
+		tf.next++
+	}
+	if tf.next >= tf.pages && !tf.freed {
+		consumed += k.Madvise(p, 0, tf.pages*8/10)
+		tf.freed = true
+	}
+	return consumed + sim.Millisecond, false, nil
+}
+
+func TestBalloonRelievesOvercommit(t *testing.T) {
+	run := func(mode SharingMode, guestPol func() kernel.Policy) int64 {
+		h := NewHost(hostConfig(256), policy.NewNone(), mode)
+		vm1 := h.AddVM("vm1", 192<<20, guestPol())
+		vm2 := h.AddVM("vm2", 192<<20, guestPol())
+		vm1.Spawn("a", &touchFree{pages: 43000})
+		vm2.Spawn("b", &touchFree{pages: 43000})
+		if err := h.Run(60 * sim.Second); err != nil {
+			t.Fatal(err)
+		}
+		return vm1.Swapped() + vm2.Swapped()
+	}
+	noShare := run(NoSharing, func() kernel.Policy { return policy.NewLinuxTHP() })
+	balloon := run(Balloon, func() kernel.Policy { return policy.NewLinuxTHP() })
+	prezero := run(PrezeroKSM, func() kernel.Policy { return core.NewG() })
+	if noShare == 0 {
+		t.Fatal("baseline did not swap")
+	}
+	if balloon >= noShare {
+		t.Fatalf("balloon did not reduce swapping: %d vs %d", balloon, noShare)
+	}
+	// HawkEye guests pre-zero their freed memory: host reclaims nearly as
+	// much as ballooning (the Fig. 11 claim).
+	if prezero >= noShare {
+		t.Fatalf("prezero+ksm did not reduce swapping: %d vs %d", prezero, noShare)
+	}
+}
+
+func TestPrezeroSharingRequiresZeroedPages(t *testing.T) {
+	// With a guest policy that never pre-zeroes (Linux), PrezeroKSM mode
+	// has nothing to merge: freed-but-dirty guest pages stay resident.
+	h := NewHost(hostConfig(256), policy.NewNone(), PrezeroKSM)
+	vm := h.AddVM("vm1", 192<<20, policy.NewLinuxTHP())
+	vm.Spawn("a", &touchFree{pages: 43000})
+	if err := h.Run(30 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if vm.SharedPages() > 2000 {
+		t.Fatalf("shared %d pages without guest pre-zeroing", vm.SharedPages())
+	}
+
+	h2 := NewHost(hostConfig(256), policy.NewNone(), PrezeroKSM)
+	vm2 := h2.AddVM("vm1", 192<<20, core.NewG())
+	vm2.Spawn("a", &touchFree{pages: 43000})
+	if err := h2.Run(60 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if vm2.SharedPages() < 10000 {
+		t.Fatalf("HawkEye guest shared only %d pages", vm2.SharedPages())
+	}
+}
+
+func TestGuestWorkloadRunsVirtualized(t *testing.T) {
+	h := NewHost(hostConfig(1024), core.NewG(), NoSharing)
+	vm := h.AddVM("vm1", 512<<20, core.NewG())
+	spec := workload.Lookup("cg.D")
+	spec.WorkSeconds = 2
+	inst := workload.New(spec, 1.0/48)
+	p := vm.Spawn("cg", inst.Program)
+	if err := h.RunUntilGuestsDone(10 * sim.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Done || p.OOMKilled {
+		t.Fatalf("guest workload did not finish: done=%v oom=%v", p.Done, p.OOMKilled)
+	}
+}
+
+func TestSharingModeString(t *testing.T) {
+	if NoSharing.String() != "none" || Balloon.String() != "balloon" || PrezeroKSM.String() != "prezero+ksm" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+// steadyToucher keeps re-touching a small hot set, so guest access bits
+// stay set between mirror syncs.
+type steadyToucher struct {
+	pages int64
+	next  int64
+}
+
+func (st *steadyToucher) Step(k *kernel.Kernel, p *kernel.Proc) (sim.Time, bool, error) {
+	var consumed sim.Time
+	for i := int64(0); i < st.pages; i++ {
+		c, err := k.Touch(p, vmm.VPN(i), false)
+		if err != nil {
+			return consumed, false, err
+		}
+		consumed += c
+	}
+	return consumed + 50*sim.Millisecond, false, nil
+}
+
+func TestHarvestPropagatesGuestHotnessToHost(t *testing.T) {
+	h := NewHost(hostConfig(512), policy.NewNone(), NoSharing)
+	vm := h.AddVM("vm1", 128<<20, policy.NewNone())
+	// The guest keeps a 2-region hot set warm.
+	vm.Spawn("hot", &steadyToucher{pages: 2 * mem.HugePages})
+	if err := h.Run(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The mirror's harvested touches must have marked host access bits on
+	// the GPA regions backing the hot set.
+	hot := 0
+	for _, r := range vm.HostProc.VP.RegionsInOrder() {
+		if _, acc, _ := r.PopulatedAccessedDirty(); acc > 0 {
+			hot++
+		}
+	}
+	if hot == 0 {
+		t.Fatal("no host regions carry harvested access bits")
+	}
+}
+
+func TestHotHugeFractionFollowsHostPromotions(t *testing.T) {
+	h := NewHost(hostConfig(512), policy.NewLinuxTHP(), NoSharing)
+	vm := h.AddVM("vm1", 128<<20, policy.NewNone())
+	p := vm.Spawn("hot", &steadyToucher{pages: 4 * mem.HugePages})
+	if err := h.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Host THP backs the mirror with huge pages at fault time, so the hot
+	// set's host regions are huge and the guest's nested discount is real.
+	if vm.HostHugeFraction() < 0.5 {
+		t.Fatalf("host huge fraction = %.2f", vm.HostHugeFraction())
+	}
+	if p.NestedDiscount >= 1 || p.NestedDiscount < 0.6 {
+		t.Fatalf("nested discount = %v, want in [0.63, 1)", p.NestedDiscount)
+	}
+}

@@ -1,0 +1,75 @@
+package vmm
+
+import (
+	"testing"
+
+	"hawkeye/internal/content"
+	"hawkeye/internal/mem"
+	"hawkeye/internal/sim"
+)
+
+func benchHarness(b *testing.B, mb int64) *harness {
+	b.Helper()
+	alloc := mem.NewAllocator(mb << 20)
+	store := content.NewStore(alloc.TotalPages(), sim.NewRand(7))
+	return &harness{alloc: alloc, store: store, vmm: New(alloc, store)}
+}
+
+func BenchmarkMapUnmapBase(b *testing.B) {
+	h := benchHarness(b, 64)
+	p := h.vmm.NewProcess("bench")
+	r := p.EnsureRegion(0)
+	blk, _ := h.alloc.Alloc(0, mem.PreferZero, mem.TagAnon)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.vmm.MapBase(p, r, 0, blk.Head)
+		h.vmm.UnmapBase(p, r, 0, false)
+	}
+}
+
+func BenchmarkPromoteCopy(b *testing.B) {
+	h := benchHarness(b, 512)
+	p := h.vmm.NewProcess("bench")
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r := p.EnsureRegion(RegionIndex(i))
+		base := r.Index.BaseVPN()
+		for slot := 0; slot < 256; slot++ {
+			blk, err := h.alloc.Alloc(0, mem.PreferZero, mem.TagAnon)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h.vmm.MapBase(p, r, slot, blk.Head)
+		}
+		_ = base
+		dst, err := h.alloc.Alloc(mem.HugeOrder, mem.PreferZero, mem.TagAnon)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		h.vmm.PromoteCopy(p, r, dst)
+		b.StopTimer()
+		h.vmm.UnmapHuge(p, r, true)
+		b.StartTimer()
+	}
+}
+
+func BenchmarkScanForZero(b *testing.B) {
+	h := benchHarness(b, 64)
+	p := h.vmm.NewProcess("bench")
+	blk, _ := h.alloc.Alloc(mem.HugeOrder, mem.PreferZero, mem.TagAnon)
+	r := p.EnsureRegion(0)
+	for i := mem.FrameID(0); i < mem.HugePages; i++ {
+		h.store.SetZero(blk.Head + i)
+	}
+	h.vmm.MapHuge(p, r, blk.Head)
+	for slot := 0; slot < 64; slot++ {
+		h.vmm.Access(p, VPN(slot), true)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.vmm.ScanForZero(r)
+	}
+}

@@ -1,0 +1,137 @@
+package vmm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hawkeye/internal/content"
+	"hawkeye/internal/mem"
+	"hawkeye/internal/sim"
+)
+
+// TestRandomOpsInvariants drives a long random sequence of map / unmap /
+// promote / demote / dedup / madvise operations across several processes
+// and checks global invariants after every step:
+//
+//   - the allocator's internal accounting stays consistent,
+//   - RSS equals the sum of private present pages (huge counted 512),
+//   - populated counts match the PTE arrays,
+//   - no frame is mapped privately by two owners.
+func TestRandomOpsInvariants(t *testing.T) {
+	alloc := mem.NewAllocator(128 << 20)
+	store := newStoreFor(alloc)
+	v := New(alloc, store)
+	r := sim.NewRand(2024)
+
+	procs := []*Process{v.NewProcess("p0"), v.NewProcess("p1"), v.NewProcess("p2")}
+	const regionsPerProc = 12
+
+	for step := 0; step < 8000; step++ {
+		p := procs[r.Intn(len(procs))]
+		idx := RegionIndex(r.Intn(regionsPerProc))
+		reg := p.EnsureRegion(idx)
+		switch r.Intn(7) {
+		case 0: // map a base page
+			if !reg.Huge {
+				slot := r.Intn(mem.HugePages)
+				if !reg.PTEs[slot].Present() {
+					if blk, ok := alloc.AllocOpportunistic(0, mem.PreferZero, mem.TagAnon); ok {
+						store.SetZero(blk.Head)
+						v.MapBase(p, reg, slot, blk.Head)
+					}
+				}
+			}
+		case 1: // write through an existing mapping
+			vpn := idx.BaseVPN() + VPN(r.Intn(mem.HugePages))
+			if res := v.Access(p, vpn, true); res == TouchCOW {
+				if blk, ok := alloc.AllocOpportunistic(0, mem.PreferNonZero, mem.TagAnon); ok {
+					v.BreakCOW(p, reg, SlotOf(vpn), blk.Head)
+				}
+			}
+		case 2: // promote via copy
+			if !reg.Huge && reg.Populated() > 0 {
+				if blk, ok := alloc.AllocOpportunistic(mem.HugeOrder, mem.PreferZero, mem.TagAnon); ok {
+					v.PromoteCopy(p, reg, blk)
+				}
+			}
+		case 3: // demote
+			if reg.Huge {
+				v.Demote(p, reg)
+			}
+		case 4: // dedup a huge region
+			if reg.Huge {
+				v.DedupHuge(p, reg)
+			}
+		case 5: // madvise a random span
+			start := idx.BaseVPN() + VPN(r.Intn(mem.HugePages))
+			v.DontNeed(p, start, int64(r.Intn(256)+1))
+		case 6: // compaction pulse
+			alloc.Compact(1)
+		}
+
+		if step%250 != 0 {
+			continue
+		}
+		if msg := alloc.CheckConsistency(); msg != "" {
+			t.Fatalf("step %d: allocator: %s", step, msg)
+		}
+		owners := map[mem.FrameID]int{}
+		for _, pp := range procs {
+			var rss int64
+			for _, rr := range pp.RegionsInOrder() {
+				if rr.Huge {
+					rss += mem.HugePages
+					owners[rr.HugeFrame]++
+					continue
+				}
+				pop := 0
+				for slot := range rr.PTEs {
+					e := rr.PTEs[slot]
+					if !e.Present() {
+						continue
+					}
+					pop++
+					if !e.COW() {
+						rss++
+						owners[e.Frame]++
+					}
+				}
+				if pop != rr.Populated() {
+					t.Fatalf("step %d: region %d populated %d, counted %d", step, rr.Index, rr.Populated(), pop)
+				}
+			}
+			if rss != pp.RSS() {
+				t.Fatalf("step %d: %s RSS %d, counted %d", step, pp.Name, pp.RSS(), rss)
+			}
+		}
+		for f, n := range owners {
+			if n > 1 {
+				t.Fatalf("step %d: frame %d privately mapped %d times", step, f, n)
+			}
+		}
+	}
+	// Teardown releases everything except the canonical zero frame.
+	for _, p := range procs {
+		v.Exit(p)
+	}
+	if alloc.FreePages() != alloc.TotalPages()-1 {
+		t.Fatalf("leak: %d free of %d", alloc.FreePages(), alloc.TotalPages())
+	}
+}
+
+func newStoreFor(a *mem.Allocator) *content.Store {
+	return content.NewStore(a.TotalPages(), sim.NewRand(9))
+}
+
+// TestPropertyRegionHelpers checks VPN/region arithmetic over random VPNs.
+func TestPropertyRegionHelpers(t *testing.T) {
+	f := func(raw uint32) bool {
+		vpn := VPN(raw)
+		reg := RegionOf(vpn)
+		slot := SlotOf(vpn)
+		return reg.BaseVPN()+VPN(slot) == vpn && slot >= 0 && slot < mem.HugePages
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+// Package vmm implements the virtual-memory layer of the simulator:
+// per-process address spaces built from 2 MB-aligned regions, base and huge
+// page-table entries, hardware-style access/dirty bits, copy-on-write
+// sharing against a canonical zero page, promotion and demotion of huge
+// pages, madvise(DONTNEED), reverse mappings, and frame migration in
+// support of compaction.
+package vmm
+
+import (
+	"hawkeye/internal/mem"
+)
+
+// VPN is a virtual page number (virtual address / 4 KB) within a process.
+type VPN int64
+
+// RegionIndex identifies a 2 MB-aligned virtual region (VPN >> 9).
+type RegionIndex int64
+
+// RegionOf returns the region containing a VPN.
+func RegionOf(v VPN) RegionIndex { return RegionIndex(v >> mem.HugeOrder) }
+
+// BaseVPN returns the first VPN of a region.
+func (r RegionIndex) BaseVPN() VPN { return VPN(r) << mem.HugeOrder }
+
+// SlotOf returns the index of a VPN within its region (0..511).
+func SlotOf(v VPN) int { return int(v & (mem.HugePages - 1)) }
+
+// pteFlags are per-base-PTE flag bits.
+type pteFlags uint8
+
+const (
+	ptePresent  pteFlags = 1 << iota // mapping exists
+	pteCOW                           // shared read-only (zero page or KSM)
+	pteAccessed                      // hardware access bit
+	pteDirty                         // written since mapping
+)
+
+// PTE is a base (4 KB) page-table entry.
+type PTE struct {
+	Frame mem.FrameID
+	Flags pteFlags
+}
+
+// Present reports whether the entry maps a frame.
+func (p PTE) Present() bool { return p.Flags&ptePresent != 0 }
+
+// COW reports whether the entry is a read-only shared mapping.
+func (p PTE) COW() bool { return p.Flags&pteCOW != 0 }
+
+// Accessed reports the hardware access bit.
+func (p PTE) Accessed() bool { return p.Flags&pteAccessed != 0 }
+
+// Dirty reports the dirty bit.
+func (p PTE) Dirty() bool { return p.Flags&pteDirty != 0 }
+
+// Region is the per-2 MB bookkeeping unit: either one huge mapping or up to
+// 512 base mappings. This is the granularity at which every policy in the
+// paper (population maps, access bitvectors, HawkEye's access_map) operates.
+type Region struct {
+	Index RegionIndex
+
+	// Huge mapping state.
+	Huge      bool
+	HugeFrame mem.FrameID // head of the order-9 block when Huge
+	hugeFlags pteFlags    // accessed/dirty for the huge mapping
+
+	// Base mapping state (valid when !Huge).
+	PTEs      [mem.HugePages]PTE
+	populated int // present base PTEs (private or COW)
+	resident  int // present base PTEs counting toward RSS (excludes COW-shared)
+
+	// Reservation (FreeBSD-style): a pre-allocated physical huge block that
+	// base faults fill in place, enabling copy-free promotion.
+	Reserved      bool
+	ReservedBlock mem.Block
+}
+
+// Populated reports present base pages (or 512 for a huge mapping).
+func (r *Region) Populated() int {
+	if r.Huge {
+		return mem.HugePages
+	}
+	return r.populated
+}
+
+// Resident reports pages charged to RSS in this region.
+func (r *Region) Resident() int {
+	if r.Huge {
+		return mem.HugePages
+	}
+	return r.resident
+}
+
+// HugeAccessed reports the access bit of a huge mapping.
+func (r *Region) HugeAccessed() bool { return r.hugeFlags&pteAccessed != 0 }
+
+// mappingKind discriminates reverse-mapping entries.
+type mappingKind uint8
+
+const (
+	mapBase mappingKind = iota
+	mapHuge
+)
+
+// mapping is one reverse-map entry: which process/region/slot references a
+// frame.
+type mapping struct {
+	proc *Process
+	reg  *Region
+	slot int16 // base slot, or -1 for a huge mapping
+	kind mappingKind
+}

@@ -1,0 +1,312 @@
+package workload
+
+import (
+	"testing"
+
+	"hawkeye/internal/kernel"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/vmm"
+)
+
+// basePolicy maps everything with base pages.
+type basePolicy struct{}
+
+func (basePolicy) Name() string            { return "base" }
+func (basePolicy) Attach(k *kernel.Kernel) {}
+func (basePolicy) OnFault(*kernel.Kernel, *kernel.Proc, *vmm.Region, vmm.VPN) kernel.Decision {
+	return kernel.DecideBase
+}
+
+// hugePolicy maps everything with huge pages.
+type hugePolicy struct{}
+
+func (hugePolicy) Name() string            { return "huge" }
+func (hugePolicy) Attach(k *kernel.Kernel) {}
+func (hugePolicy) OnFault(*kernel.Kernel, *kernel.Proc, *vmm.Region, vmm.VPN) kernel.Decision {
+	return kernel.DecideHuge
+}
+
+func testKernel(mb int64, pol kernel.Policy) *kernel.Kernel {
+	cfg := kernel.DefaultConfig()
+	cfg.MemoryBytes = mb << 20
+	return kernel.New(cfg, pol)
+}
+
+func TestSamplerUniformBounds(t *testing.T) {
+	s := &Sampler{Base: 100, Pages: 50, Kind: Uniform}
+	r := sim.NewRand(1)
+	for i := 0; i < 1000; i++ {
+		vpn, _ := s.Sample(r)
+		if vpn < 100 || vpn >= 150 {
+			t.Fatalf("sample out of range: %d", vpn)
+		}
+	}
+}
+
+func TestSamplerSequentialDwellsAndCovers(t *testing.T) {
+	s := &Sampler{Base: 0, Pages: 10, Kind: Sequential, AccessesPerPage: 4}
+	r := sim.NewRand(1)
+	var stream []vmm.VPN
+	seen := map[vmm.VPN]int{}
+	for i := 0; i < 400; i++ {
+		vpn, _ := s.Sample(r)
+		stream = append(stream, vpn)
+		seen[vpn]++
+	}
+	// Streaming scans dwell AccessesPerPage samples per page (TLB locality)
+	// while covering the whole buffer over the window.
+	if len(seen) < 10 {
+		t.Fatalf("sequential sampler covered only %d of 10 pages", len(seen))
+	}
+	// Dwell: consecutive repeats dominate — the page changes at most every
+	// 4th sample.
+	changes := 0
+	for i := 1; i < len(stream); i++ {
+		if stream[i] != stream[i-1] {
+			changes++
+		}
+	}
+	if changes > len(stream)/4+1 {
+		t.Fatalf("page changed %d times in %d samples, want ≤ 1/4", changes, len(stream))
+	}
+}
+
+func TestSamplerHotspotConcentratesAtTop(t *testing.T) {
+	s := &Sampler{Base: 0, Pages: 1000, Kind: Hotspot, HotFrac: 0.1, HotProb: 0.9}
+	r := sim.NewRand(1)
+	hot := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		vpn, _ := s.Sample(r)
+		if vpn >= 900 {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hot fraction = %.3f, want ≈ 0.9", frac)
+	}
+	lo, hi := s.HotRegions()
+	if lo != vmm.RegionOf(900) || hi != vmm.RegionOf(999)+1 {
+		t.Fatalf("hot regions [%d,%d)", lo, hi)
+	}
+}
+
+func TestSamplerWriteFraction(t *testing.T) {
+	s := &Sampler{Base: 0, Pages: 100, Kind: Uniform, WriteFrac: 0.5}
+	r := sim.NewRand(1)
+	writes := 0
+	for i := 0; i < 10000; i++ {
+		if _, w := s.Sample(r); w {
+			writes++
+		}
+	}
+	if writes < 4500 || writes > 5500 {
+		t.Fatalf("writes = %d/10000, want ≈ 5000", writes)
+	}
+}
+
+func TestCatalogComplete(t *testing.T) {
+	cat := Catalog()
+	for _, name := range []string{"graph500", "xsbench", "bt.D", "sp.D", "lu.D", "mg.D", "cg.D", "ft.D", "ua.D", "random", "sequential", "redis-light"} {
+		if _, ok := cat[name]; !ok {
+			t.Errorf("catalog missing %q", name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Lookup of unknown workload did not panic")
+		}
+	}()
+	Lookup("nope")
+}
+
+func TestMicrobenchFaultCount(t *testing.T) {
+	k := testKernel(512, basePolicy{})
+	// 100 MB buffer, 3 repeats at scale 1.
+	inst := Microbench(100<<20, 3, 1)
+	p := k.Spawn("ubench", inst.Program)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Done {
+		t.Fatal("microbench did not finish")
+	}
+	wantFaults := int64(3) * inst.Pages
+	if p.Acct.BaseFaults != wantFaults {
+		t.Fatalf("faults = %d, want %d (3 passes × %d pages)", p.Acct.BaseFaults, wantFaults, inst.Pages)
+	}
+	// The buffer was freed each pass: RSS ends at zero.
+	if p.VP.RSS() != 0 {
+		t.Fatalf("RSS = %d after final free", p.VP.RSS())
+	}
+}
+
+func TestMicrobenchHugeReducesFaults(t *testing.T) {
+	base := testKernel(512, basePolicy{})
+	huge := testKernel(512, hugePolicy{})
+	ib := Microbench(100<<20, 1, 1)
+	ih := Microbench(100<<20, 1, 1)
+	pb := base.Spawn("b", ib.Program)
+	phg := huge.Spawn("h", ih.Program)
+	if err := base.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := huge.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if phg.Acct.Faults*100 > pb.Acct.Faults {
+		t.Fatalf("huge faults %d not ≪ base faults %d", phg.Acct.Faults, pb.Acct.Faults)
+	}
+	// With sync zeroing of 2 MB blocks absent (fresh machine is
+	// pre-zeroed), huge runs much faster.
+	if phg.Runtime(huge.Now()) >= pb.Runtime(base.Now()) {
+		t.Fatalf("huge %v not faster than base %v", phg.Runtime(huge.Now()), pb.Runtime(base.Now()))
+	}
+}
+
+func TestWorkloadRunsToCompletion(t *testing.T) {
+	k := testKernel(2048, hugePolicy{})
+	spec := Lookup("cg.D")
+	spec.WorkSeconds = 3 // shorten for the test
+	inst := New(spec, 1.0/24)
+	p := k.Spawn("cg", inst.Program)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Done || p.OOMKilled {
+		t.Fatalf("cg did not finish cleanly: done=%v oom=%v", p.Done, p.OOMKilled)
+	}
+	if p.WorkDone < 3 {
+		t.Fatalf("work done = %v", p.WorkDone)
+	}
+}
+
+func TestCgOverheadMatchesTable3Shape(t *testing.T) {
+	// cg.D: ≈ 39% walk cycles with 4 KB pages, ≈ 0 with 2 MB (Table 3).
+	run := func(pol kernel.Policy) float64 {
+		k := testKernel(2048, pol)
+		spec := Lookup("cg.D")
+		spec.WorkSeconds = 5
+		inst := New(spec, 1.0/24)
+		p := k.Spawn("cg", inst.Program)
+		if err := k.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return p.PMU.Overhead()
+	}
+	ov4 := run(basePolicy{})
+	ov2 := run(hugePolicy{})
+	if ov4 < 0.30 || ov4 > 0.48 {
+		t.Fatalf("cg.D 4K overhead = %.3f, want ≈ 0.39", ov4)
+	}
+	if ov2 > 0.05 {
+		t.Fatalf("cg.D 2M overhead = %.3f, want ≈ 0", ov2)
+	}
+}
+
+func TestMgOverheadLowDespiteLargeWSS(t *testing.T) {
+	// mg.D: 24 GB footprint but ≈ 1% overhead (Table 3's headline point).
+	k := testKernel(2048, basePolicy{})
+	spec := Lookup("mg.D")
+	spec.WorkSeconds = 5
+	inst := New(spec, 1.0/24)
+	p := k.Spawn("mg", inst.Program)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if ov := p.PMU.Overhead(); ov > 0.05 {
+		t.Fatalf("mg.D 4K overhead = %.3f, want ≈ 0.01", ov)
+	}
+}
+
+func TestKVStoreInsertDeleteServe(t *testing.T) {
+	k := testKernel(1024, hugePolicy{})
+	kv := &KVStore{
+		Ops: []KVOp{
+			KVInsert{Keys: 1000, ValuePages: 1, PageCost: 2},
+			KVDelete{Frac: 0.5},
+			KVServe{For: 2 * sim.Second},
+		},
+		QueryProfile:   kernel.AccessProfile{Locality: 0.9, CyclesPerAccess: 500},
+		BaseThroughput: 100000,
+	}
+	p := k.Spawn("redis", kv)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Done {
+		t.Fatal("kv store did not finish")
+	}
+	if kv.LiveKeys() != 500 {
+		t.Fatalf("live keys = %d, want 500", kv.LiveKeys())
+	}
+	if kv.Throughput() <= 0 {
+		t.Fatal("no throughput measured")
+	}
+	if kv.HeapPages() != 1000 {
+		t.Fatalf("heap = %d pages", kv.HeapPages())
+	}
+}
+
+func TestKVStoreDeleteShrinksRSS(t *testing.T) {
+	k := testKernel(1024, basePolicy{})
+	kv := &KVStore{Ops: []KVOp{
+		KVInsert{Keys: 2000, ValuePages: 1, PageCost: 2},
+		KVDelete{Frac: 0.8},
+	}}
+	p := k.Spawn("redis", kv)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.VP.RSS() != 400 {
+		t.Fatalf("RSS = %d pages, want 400 (80%% deleted)", p.VP.RSS())
+	}
+}
+
+func TestKVStoreHugeBloatAfterSparseDelete(t *testing.T) {
+	// With huge mappings, deleting keys demotes and frees only the covered
+	// base pages; RSS drops accordingly (madvise path), matching Fig. 1's
+	// P2 drop to the useful-data level.
+	k := testKernel(1024, hugePolicy{})
+	kv := &KVStore{Ops: []KVOp{
+		KVInsert{Keys: 4 * 512, ValuePages: 1, PageCost: 2}, // 4 huge regions
+		KVDelete{Frac: 0.75},
+	}}
+	p := k.Spawn("redis", kv)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.VP.HugeMapped() != 0 {
+		t.Fatalf("huge mappings survived sparse delete: %d", p.VP.HugeMapped())
+	}
+	want := int64(4*512) / 4
+	if p.VP.RSS() != want {
+		t.Fatalf("RSS = %d, want %d", p.VP.RSS(), want)
+	}
+}
+
+func TestPhasedRepeatAndSleep(t *testing.T) {
+	k := testKernel(256, basePolicy{})
+	prog := &Phased{
+		Repeat: 2,
+		Phases: []Phase{
+			&Populate{Start: 0, Pages: 10, Write: true},
+			&Sleep{For: 3 * sim.Second},
+			&Free{Start: 0, Pages: 10},
+		},
+	}
+	p := k.Spawn("phased", prog)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Done {
+		t.Fatal("phased did not finish")
+	}
+	if p.Acct.BaseFaults != 20 {
+		t.Fatalf("faults = %d, want 20 (2 repeats)", p.Acct.BaseFaults)
+	}
+	if rt := p.Runtime(k.Now()); rt < 6*sim.Second {
+		t.Fatalf("runtime %v should include two 3s sleeps", rt)
+	}
+}
