@@ -3,7 +3,15 @@
 //
 // Usage:
 //
-//	hawkeye-bench [-scale 0.0833] [-quick] [-seed 1] all|<id> [<id>...]
+//	hawkeye-bench [-scale 0.0833] [-quick] [-seed 1] [-parallel N] [-json out.json] all|<id> [<id>...]
+//
+// Experiments run on a worker pool (-parallel, default 1; 0 means
+// GOMAXPROCS). Each experiment owns an isolated deterministic machine, so
+// parallel runs print byte-identical tables to serial runs with the same
+// seed — always in the order the IDs were given, regardless of completion
+// order. -json writes a machine-readable report (schema "hawkeye-bench/v1")
+// with per-experiment wall time, allocated bytes and simulation-event
+// throughput; see README.md for the schema.
 //
 // Valid experiment IDs: run with -list.
 package main
@@ -11,10 +19,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"hawkeye/internal/experiments"
+	"hawkeye/internal/runner"
 )
 
 func main() {
@@ -22,6 +32,8 @@ func main() {
 	quick := flag.Bool("quick", false, "shorten steady phases ~10x (shapes preserved)")
 	seed := flag.Uint64("seed", 1, "deterministic RNG seed")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	parallel := flag.Int("parallel", 1, "worker pool size (0 = GOMAXPROCS)")
+	jsonOut := flag.String("json", "", "write a JSON report to this path (\"-\" = stdout)")
 	flag.Parse()
 
 	if *list {
@@ -41,17 +53,35 @@ func main() {
 		ids = experiments.IDs()
 	}
 	opts := experiments.Options{Scale: *scale, Seed: *seed, Quick: *quick}
+
+	start := time.Now()
+	results := runner.Run(ids, opts, *parallel)
+	totalWall := time.Since(start)
+
+	// With -json - the report owns stdout; tables move to stderr so the
+	// JSON stays machine-parseable.
+	tablesTo := io.Writer(os.Stdout)
+	if *jsonOut == "-" {
+		tablesTo = os.Stderr
+	}
 	failed := 0
-	for _, id := range ids {
-		start := time.Now()
-		tab, err := experiments.Run(id, opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+	for _, res := range results {
+		if res.Error != "" {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", res.ID, res.Error)
 			failed++
 			continue
 		}
-		fmt.Println(tab.String())
-		fmt.Printf("(%s completed in %.1fs wall)\n\n", id, time.Since(start).Seconds())
+		fmt.Fprintln(tablesTo, res.Table)
+		fmt.Fprintf(tablesTo, "(%s completed in %.1fs wall)\n\n", res.ID, res.WallSeconds)
+	}
+	fmt.Fprintf(tablesTo, "total: %d experiments in %.1fs wall\n", len(results), totalWall.Seconds())
+
+	if *jsonOut != "" {
+		rep := runner.NewReport(opts.WithDefaults(), *parallel, totalWall, results)
+		if err := rep.WriteJSON(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed++
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)

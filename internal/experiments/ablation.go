@@ -106,6 +106,7 @@ func Ablation(o Options) (*Table, error) {
 		kcfg.Seed = o.Seed
 		pol := core.New(cfg)
 		k := kernel.New(kcfg, pol)
+		o.observe(k)
 		p1 := int64(float64(45<<30) * o.Scale / mem.PageSize)
 		p3 := int64(float64(36<<30) * o.Scale / mem.HugeSize)
 		kv := &workload.KVStore{Ops: []workload.KVOp{

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"hawkeye/internal/kernel"
 	"hawkeye/internal/policy"
@@ -28,7 +29,60 @@ type Options struct {
 	// Quick shortens steady-state phases ~10× for use under `go test
 	// -bench`; shapes are preserved, absolute times shrink.
 	Quick bool
+	// Metrics, when non-nil, collects live simulation counters (event
+	// throughput) for this run. It never influences results, so runs with
+	// and without it are byte-identical.
+	Metrics *Metrics
 }
+
+// Metrics aggregates simulation counters across every machine an experiment
+// creates. It is safe for concurrent use so the parallel runner can share
+// one per experiment while workers run side by side.
+type Metrics struct {
+	mu      sync.Mutex
+	engines map[*sim.Engine]struct{}
+}
+
+// NewMetrics returns an empty collector.
+func NewMetrics() *Metrics {
+	return &Metrics{engines: make(map[*sim.Engine]struct{})}
+}
+
+// observe registers a machine's event engine (deduplicated by pointer, so
+// co-simulated kernels sharing one engine are counted once).
+func (m *Metrics) observe(e *sim.Engine) {
+	if m == nil || e == nil {
+		return
+	}
+	m.mu.Lock()
+	m.engines[e] = struct{}{}
+	m.mu.Unlock()
+}
+
+// EventsFired sums discrete events executed across the run's engines.
+func (m *Metrics) EventsFired() uint64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n uint64
+	for e := range m.engines {
+		n += e.Fired()
+	}
+	return n
+}
+
+// observe registers a kernel's engine with the run's Metrics, if any.
+func (o Options) observe(k *kernel.Kernel) {
+	if o.Metrics != nil {
+		o.Metrics.observe(k.Engine)
+	}
+}
+
+// WithDefaults returns the options with unset fields resolved to the
+// defaults Run would use — handy for reporting the effective configuration.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
 
 func (o Options) withDefaults() Options {
 	if o.Scale <= 0 {
@@ -87,13 +141,21 @@ func (t *Table) Note(format string, args ...any) {
 func (t *Table) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
-	widths := make([]int, len(t.Header))
+	// Size widths by the widest row, not the header: a row may carry more
+	// cells than the header has columns.
+	ncols := len(t.Header)
+	for _, row := range t.Rows {
+		if len(row) > ncols {
+			ncols = len(row)
+		}
+	}
+	widths := make([]int, ncols)
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -158,7 +220,9 @@ func newKernel(o Options, pol kernel.Policy) *kernel.Kernel {
 	cfg := kernel.DefaultConfig()
 	cfg.MemoryBytes = o.MemoryBytes
 	cfg.Seed = o.Seed
-	return kernel.New(cfg, pol)
+	k := kernel.New(cfg, pol)
+	o.observe(k)
+	return k
 }
 
 // runResult captures one workload's outcome.

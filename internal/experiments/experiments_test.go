@@ -33,6 +33,30 @@ func TestTableRendering(t *testing.T) {
 
 func idxOf(s, sub string) int { return strings.Index(s, sub) }
 
+// TestTableWideRow guards the width computation: a row with more cells than
+// the header has columns must render, not panic (widths are sized by the
+// widest row).
+func TestTableWideRow(t *testing.T) {
+	tab := &Table{
+		ID:     "wide",
+		Title:  "rows wider than the header",
+		Header: []string{"a", "b"},
+	}
+	tab.Add("r1c1", "r1c2", "r1c3-extra", "r1c4")
+	tab.Add("r2-long-cell", 7)
+	out := tab.String()
+	for _, want := range []string{"r1c3-extra", "r1c4", "r2-long-cell"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// The extra columns participate in alignment like any other.
+	lines := strings.Split(out, "\n")
+	if idxOf(lines[1], "b") <= idxOf(lines[1], "a") {
+		t.Fatalf("header misrendered:\n%s", out)
+	}
+}
+
 func TestRegistryAndRun(t *testing.T) {
 	ids := IDs()
 	if len(ids) < 16 {

@@ -59,6 +59,7 @@ func Fig1(o Options) (*Table, error) {
 		kcfg.Seed = o.Seed
 		pol := c.pol()
 		k := kernel.New(kcfg, pol)
+		o.observe(k)
 		kv := &workload.KVStore{
 			Ops: []workload.KVOp{
 				workload.KVInsert{Keys: p1Pages, ValuePages: 1, PageCost: pageCost},

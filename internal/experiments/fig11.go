@@ -91,6 +91,7 @@ func runFig11(o Options, mode virt.SharingMode, guestPol func() kernel.Policy) (
 	hcfg.MemoryBytes = o.MemoryBytes
 	hcfg.Seed = o.Seed
 	h := virt.NewHost(hcfg, policy.NewLinuxTHP(), mode)
+	o.observe(h.K)
 
 	vmBytes := o.MemoryBytes * 3 / 8 // 4 × 3/8 = 1.5× host
 	vms := make([]*virt.VM, 4)

@@ -79,6 +79,7 @@ func runFig9(o Options, spec workload.Spec, hostPol, guestPol kernel.Policy) (si
 	hcfg.MemoryBytes = o.MemoryBytes
 	hcfg.Seed = o.Seed
 	h := virt.NewHost(hcfg, hostPol, virt.NoSharing)
+	o.observe(h.K)
 	h.K.FragmentMemory(fragKeep)
 
 	vm := h.AddVM("vm", o.MemoryBytes*5/8, guestPol)

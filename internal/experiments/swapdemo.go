@@ -42,6 +42,7 @@ func SwapDemo(o Options) (*Table, error) {
 		kcfg.SwapBytes = memBytes
 		kcfg.Seed = o.Seed
 		k := kernel.New(kcfg, c.pol())
+		o.observe(k)
 		p := k.Spawn("walker", &swapWalker{pages: pages, passes: 2})
 		if err := k.Run(0); err != nil {
 			return nil, err

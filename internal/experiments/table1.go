@@ -50,6 +50,7 @@ func Table1(o Options) (*Table, error) {
 			cfg.Fault.HugeZeroNs = 0
 		}
 		k := kernel.New(cfg, c.pol())
+		o.observe(k)
 		dirtyMachine(k) // emulate a long-running machine: no free page is zeroed
 		inst := workload.Microbench(bufBytes, repeats, o.Scale)
 		p := k.Spawn("ubench", inst.Program)

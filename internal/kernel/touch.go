@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"math/bits"
 
 	"hawkeye/internal/mem"
 	"hawkeye/internal/sim"
@@ -170,19 +171,23 @@ func (k *Kernel) swapOutPages(n int) int {
 				r.ClearAccessBits()
 				continue
 			}
-			for slot := 0; slot < mem.HugePages && evicted < n; slot++ {
-				e := r.PTEs[slot]
-				if !e.Present() || e.COW() {
-					continue
+			// Word-granular clock: each 64-slot word yields its cold
+			// (present-but-not-accessed) candidates as a bit mask, then has
+			// its access bits cleared in bulk as the second chance.
+			for w := 0; w < vmm.BitmapWords && evicted < n; w++ {
+				for cold := r.ColdPresentWord(w); cold != 0 && evicted < n; {
+					b := bits.TrailingZeros64(cold)
+					cold &^= 1 << uint(b)
+					slot := w*64 + b
+					if r.PTEs[slot].COW() {
+						continue
+					}
+					if k.VMM.SwapOutBase(victim, r, slot, k.Swap) {
+						evicted++
+						k.SwapOutTime += sim.Time(k.Cfg.Fault.SwapOutNs / 1000)
+					}
 				}
-				if e.Accessed() {
-					r.ClearAccessBit(slot)
-					continue
-				}
-				if k.VMM.SwapOutBase(victim, r, slot, k.Swap) {
-					evicted++
-					k.SwapOutTime += sim.Time(k.Cfg.Fault.SwapOutNs / 1000)
-				}
+				r.ClearAccessWord(w)
 			}
 		}
 	}

@@ -1,0 +1,271 @@
+package runner
+
+// Benchmark-regression harness: a checked-in baseline (BENCH_baseline.json
+// at the repo root) records how fast the simulator's tier-0 hot paths ran on
+// the reference machine, normalized against a fixed CPU calibration loop so
+// the comparison transfers across machines of different speeds. The gate
+// (TestBenchRegression in bench_regress_test.go) re-measures the same paths
+// and fails when any of them regresses beyond the tolerance.
+//
+// Refresh the baseline after an intentional performance change with:
+//
+//	BENCH_REGRESS=update go test ./internal/runner -run TestBenchRegression
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"hawkeye/internal/content"
+	"hawkeye/internal/experiments"
+	"hawkeye/internal/kernel"
+	"hawkeye/internal/mem"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/tlb"
+	"hawkeye/internal/vmm"
+)
+
+// BaselineSchema identifies the baseline file format.
+const BaselineSchema = "hawkeye-bench-baseline/v1"
+
+// DefaultTolerance is the fractional slowdown (vs the normalized baseline)
+// above which the gate fails.
+const DefaultTolerance = 0.15
+
+// Baseline is the checked-in reference measurement.
+type Baseline struct {
+	Schema string `json:"schema"`
+	// Note documents how to refresh the file.
+	Note string `json:"note"`
+	// CalibrationNs is the reference machine's ns/op on the calibration
+	// loop; benchmark numbers are compared as bench/calibration ratios.
+	CalibrationNs float64 `json:"calibration_ns"`
+	// BenchmarksNs maps tier-0 benchmark names to ns/op on the reference
+	// machine.
+	BenchmarksNs map[string]float64 `json:"benchmarks_ns"`
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("runner: parse baseline %s: %w", path, err)
+	}
+	if b.Schema != BaselineSchema {
+		return nil, fmt.Errorf("runner: baseline %s has schema %q, want %q", path, b.Schema, BaselineSchema)
+	}
+	if b.CalibrationNs <= 0 || len(b.BenchmarksNs) == 0 {
+		return nil, fmt.Errorf("runner: baseline %s is incomplete", path)
+	}
+	return &b, nil
+}
+
+// Save writes the baseline file.
+func (b *Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Tier0Bench is one guarded hot-path benchmark.
+type Tier0Bench struct {
+	Name  string
+	Iters int // timed iterations per repetition
+	Reps  int // repetitions; the minimum is kept
+	// Tolerance, when non-zero, widens the gate's tolerance for this
+	// benchmark (the effective tolerance is the larger of the two). The
+	// single-shot full-experiment benches need more slack than the
+	// tightly-looped micro-benchmarks.
+	Tolerance float64
+	// Setup builds the benchmark state and returns the op to time. The op
+	// must do the same amount of work on every call.
+	Setup func() func()
+}
+
+// Tier0Benchmarks returns the guarded set: the kernel touch path, TLB
+// translation, the access-bit scan, and two full quick experiment runs.
+func Tier0Benchmarks() []Tier0Bench {
+	return []Tier0Bench{
+		{Name: "touch", Iters: 2_000_000, Reps: 3, Setup: setupTouch},
+		{Name: "tlb_access", Iters: 1_000_000, Reps: 3, Setup: setupTLBAccess},
+		{Name: "access_scan", Iters: 1_000_000, Reps: 3, Setup: setupAccessScan},
+		{Name: "fig5_quick", Iters: 1, Reps: 2, Tolerance: 0.30, Setup: setupExperiment("fig5")},
+		{Name: "table3_quick", Iters: 1, Reps: 2, Tolerance: 0.30, Setup: setupExperiment("table3")},
+	}
+}
+
+// timedSection runs f and returns how long it took. Process CPU time is
+// preferred over wall-clock time: `go test ./...` runs package test binaries
+// concurrently, so wall-clock timings of a single-threaded loop are inflated
+// by whatever else happens to be scheduled, while its CPU time stays stable.
+func timedSection(f func()) time.Duration {
+	cpu0 := processCPUTime()
+	wall0 := time.Now()
+	f()
+	if cpu0 >= 0 {
+		if cpu1 := processCPUTime(); cpu1 >= 0 {
+			return cpu1 - cpu0
+		}
+	}
+	return time.Since(wall0)
+}
+
+// Measure times the benchmark and reports best-of-reps ns/op.
+func (t Tier0Bench) Measure() float64 {
+	op := t.Setup()
+	op() // warm up once outside the timed region
+	best := time.Duration(1<<63 - 1)
+	for rep := 0; rep < t.Reps; rep++ {
+		d := timedSection(func() {
+			for i := 0; i < t.Iters; i++ {
+				op()
+			}
+		})
+		if d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / float64(t.Iters)
+}
+
+// --- tier-0 benchmark bodies ---------------------------------------------
+
+// setupTouch exercises the hot TouchOK path of kernel.Touch: present base
+// mappings, access bits set via the region bitmaps.
+func setupTouch() func() {
+	cfg := kernel.DefaultConfig()
+	cfg.MemoryBytes = 256 << 20
+	k := kernel.New(cfg, nil)
+	p := k.Spawn("bench", nil)
+	const pages = 4 * mem.HugePages
+	for v := vmm.VPN(0); v < pages; v++ {
+		if _, err := k.Touch(p, v, false); err != nil {
+			panic(err)
+		}
+	}
+	var i int
+	return func() {
+		if _, err := k.Touch(p, vmm.VPN(i&(pages-1)), false); err != nil {
+			panic(err)
+		}
+		i++
+	}
+}
+
+// setupTLBAccess drives a random miss-heavy translation stream through the
+// two-level TLB (set indexing, LRU insertion, eviction).
+func setupTLBAccess() func() {
+	t := tlb.New(tlb.HaswellEP())
+	r := sim.NewRand(1)
+	return func() {
+		t.Access(1, r.Int63n(1<<22), false)
+	}
+}
+
+// setupAccessScan measures the sampler-epoch scan: count accessed pages,
+// then clear the bits — the operation HawkEye's access-coverage sampler
+// performs on every region every epoch.
+func setupAccessScan() func() {
+	alloc := mem.NewAllocator(64 << 20)
+	store := content.NewStore(alloc.TotalPages(), sim.NewRand(7))
+	v := vmm.New(alloc, store)
+	p := v.NewProcess("bench")
+	r := p.EnsureRegion(0)
+	for slot := 0; slot < mem.HugePages; slot++ {
+		blk, err := alloc.Alloc(0, mem.PreferZero, mem.TagAnon)
+		if err != nil {
+			panic(err)
+		}
+		v.MapBase(p, r, slot, blk.Head)
+	}
+	sink := 0
+	return func() {
+		sink += r.AccessedCount()
+		r.ClearAccessBits()
+		_, acc, _ := r.PopulatedAccessedDirty()
+		sink += acc
+	}
+}
+
+// setupExperiment runs one full quick experiment per op (end-to-end: event
+// engine, faults, policies, TLB model, table rendering).
+func setupExperiment(id string) func() func() {
+	return func() func() {
+		opts := experiments.Options{Scale: 0.02, Seed: 1, Quick: true}
+		return func() {
+			if _, err := experiments.Run(id, opts); err != nil {
+				panic(fmt.Sprintf("%s: %v", id, err))
+			}
+		}
+	}
+}
+
+// --- calibration -----------------------------------------------------------
+
+// Calibrate measures the fixed CPU reference loop (ns/op, best of 5). The
+// loop is pure integer work with a data dependency, so its speed tracks the
+// host CPU and is unaffected by simulator changes — dividing benchmark
+// numbers by it yields machine-independent ratios.
+func Calibrate() float64 {
+	const iters = 8_000_000
+	best := time.Duration(1<<63 - 1)
+	sink := calibrationLoop(iters) // warm up
+	for rep := 0; rep < 5; rep++ {
+		var x uint64
+		d := timedSection(func() { x = calibrationLoop(iters) })
+		sink += x
+		if d < best {
+			best = d
+		}
+	}
+	if sink == 42 { // defeat dead-code elimination
+		fmt.Fprintln(os.Stderr, "calibration sink")
+	}
+	return float64(best.Nanoseconds()) / float64(iters)
+}
+
+// calibrationLoop is an xorshift chain: serial, branch-free, cache-resident.
+func calibrationLoop(iters int) uint64 {
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < iters; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return x
+}
+
+// CompareResult is the verdict for one benchmark against the baseline.
+type CompareResult struct {
+	Name       string
+	MeasuredNs float64
+	BaselineNs float64
+	// Ratio is measured_norm / baseline_norm: 1.0 = parity, >1 = slower
+	// than the reference after machine-speed normalization.
+	Ratio  float64
+	Failed bool
+}
+
+// Compare normalizes a measurement against the baseline and applies the
+// tolerance.
+func (b *Baseline) Compare(name string, measuredNs, calibNs, tolerance float64) (CompareResult, bool) {
+	baseNs, ok := b.BenchmarksNs[name]
+	if !ok || baseNs <= 0 {
+		return CompareResult{Name: name, MeasuredNs: measuredNs}, false
+	}
+	ratio := (measuredNs / calibNs) / (baseNs / b.CalibrationNs)
+	return CompareResult{
+		Name:       name,
+		MeasuredNs: measuredNs,
+		BaselineNs: baseNs,
+		Ratio:      ratio,
+		Failed:     ratio > 1+tolerance,
+	}, true
+}

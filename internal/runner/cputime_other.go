@@ -1,0 +1,9 @@
+//go:build !unix
+
+package runner
+
+import "time"
+
+// processCPUTime is unavailable on this platform; the gate falls back to
+// wall-clock timing.
+func processCPUTime() time.Duration { return -1 }

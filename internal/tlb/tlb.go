@@ -7,6 +7,8 @@
 // computed as walk cycles over total cycles.
 package tlb
 
+import "hawkeye/internal/mem"
+
 // Config describes the simulated TLB hierarchy and walk-cost model.
 type Config struct {
 	L1BaseEntries int // 4 KB L1 entries
@@ -57,11 +59,14 @@ type entry struct {
 	lru   uint64
 }
 
-// setAssoc is a set-associative array with LRU replacement.
+// setAssoc is a set-associative array with LRU replacement. The set count is
+// always a power of two (like real TLB hardware), so indexing is a mask
+// instead of a modulo, and all sets live in one flat backing array.
 type setAssoc struct {
-	sets  [][]entry
-	assoc int
-	tick  uint64
+	entries []entry // nsets × assoc, set i at [i*assoc, (i+1)*assoc)
+	mask    uint64  // nsets - 1
+	assoc   int
+	tick    uint64
 }
 
 func newSetAssoc(entries, assoc int) *setAssoc {
@@ -72,16 +77,22 @@ func newSetAssoc(entries, assoc int) *setAssoc {
 	if nsets < 1 {
 		nsets = 1
 	}
-	s := &setAssoc{assoc: assoc, sets: make([][]entry, nsets)}
-	for i := range s.sets {
-		s.sets[i] = make([]entry, assoc)
+	// Round down to a power of two so setFor can mask. Hardware TLB
+	// geometries (and every Config in this repo) are already powers of two;
+	// odd configs lose at most half their sets.
+	for nsets&(nsets-1) != 0 {
+		nsets &= nsets - 1
 	}
-	return s
+	return &setAssoc{
+		assoc:   assoc,
+		mask:    uint64(nsets - 1),
+		entries: make([]entry, nsets*assoc),
+	}
 }
 
 func (s *setAssoc) setFor(page int64) []entry {
-	idx := uint64(page) % uint64(len(s.sets))
-	return s.sets[idx]
+	idx := uint64(page) & s.mask
+	return s.entries[int(idx)*s.assoc : (int(idx)+1)*s.assoc]
 }
 
 // lookup probes without inserting.
@@ -115,13 +126,31 @@ func (s *setAssoc) insert(pid int32, page int64, huge bool) {
 	set[victim] = entry{pid: pid, page: page, huge: huge, valid: true, lru: s.tick}
 }
 
-// invalidate drops matching entries.
-func (s *setAssoc) invalidate(match func(e *entry) bool) {
-	for _, set := range s.sets {
-		for i := range set {
-			if set[i].valid && match(&set[i]) {
-				set[i].valid = false
+// invalidatePID drops every entry of a process. A specialized loop (rather
+// than a callback-per-entry matcher) keeps this allocation-free and
+// branch-predictable — it runs on every process exit and large unmap.
+func (s *setAssoc) invalidatePID(pid int32) {
+	for i := range s.entries {
+		if s.entries[i].valid && s.entries[i].pid == pid {
+			s.entries[i].valid = false
+		}
+	}
+}
+
+// invalidateRange drops a process's base entries with page in [lo, hi) and
+// its huge entries with page == region.
+func (s *setAssoc) invalidateRange(pid int32, lo, hi, region int64) {
+	for i := range s.entries {
+		e := &s.entries[i]
+		if !e.valid || e.pid != pid {
+			continue
+		}
+		if e.huge {
+			if e.page == region {
+				e.valid = false
 			}
+		} else if e.page >= lo && e.page < hi {
+			e.valid = false
 		}
 	}
 }
@@ -193,30 +222,25 @@ func (t *TLB) MissRate() float64 {
 	return float64(t.Misses) / float64(t.Lookups)
 }
 
+// PagesPerRegion is the number of base-page VPNs covered by one 2 MB region
+// — the single source of truth for region geometry, derived from the memory
+// substrate rather than restated as a magic shift.
+const PagesPerRegion = int64(mem.HugePages)
+
 // InvalidateProcess flushes every entry of a process (exit, large unmap).
 func (t *TLB) InvalidateProcess(pid int32) {
-	match := func(e *entry) bool { return e.pid == pid }
-	t.l1Base.invalidate(match)
-	t.l1Huge.invalidate(match)
-	t.l2.invalidate(match)
+	t.l1Base.invalidatePID(pid)
+	t.l1Huge.invalidatePID(pid)
+	t.l2.invalidatePID(pid)
 }
 
 // InvalidateRegion flushes the entries covering one 2 MB region of a
 // process (promotion/demotion changed the mapping granularity).
 func (t *TLB) InvalidateRegion(pid int32, region int64) {
-	lo, hi := region<<9, (region+1)<<9
-	match := func(e *entry) bool {
-		if e.pid != pid {
-			return false
-		}
-		if e.huge {
-			return e.page == region
-		}
-		return e.page >= lo && e.page < hi
-	}
-	t.l1Base.invalidate(match)
-	t.l1Huge.invalidate(match)
-	t.l2.invalidate(match)
+	lo, hi := region*PagesPerRegion, (region+1)*PagesPerRegion
+	t.l1Base.invalidateRange(pid, lo, hi, region)
+	t.l1Huge.invalidateRange(pid, lo, hi, region)
+	t.l2.invalidateRange(pid, lo, hi, region)
 }
 
 // Locality expresses how friendly an access pattern is to the page-walk

@@ -37,9 +37,9 @@ func TestHugePagesExtendReach(t *testing.T) {
 	base := New(HaswellEP())
 	huge := New(HaswellEP())
 	for i := 0; i < 200000; i++ {
-		vpn := r.Int63n(256 << 9)
+		vpn := r.Int63n(256 * PagesPerRegion)
 		base.Access(1, vpn, false)
-		huge.Access(1, vpn>>9, true)
+		huge.Access(1, vpn/PagesPerRegion, true)
 	}
 	if base.MissRate() < 0.5 {
 		t.Fatalf("base miss rate %.3f, want high", base.MissRate())

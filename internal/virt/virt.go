@@ -141,8 +141,7 @@ func (v *VM) hotHugeFraction() float64 {
 		// Sample a few slots for access bits.
 		accessed := false
 		for slot := 0; slot < mem.HugePages; slot += mem.HugePages / 16 {
-			pte := r.PTEs[slot]
-			if pte.Present() && pte.Accessed() {
+			if r.PTEs[slot].Present() && r.SlotAccessed(slot) {
 				accessed = true
 				break
 			}
@@ -299,7 +298,7 @@ func (m *mirror) harvestAccessBits(k *kernel.Kernel, p *kernel.Proc) sim.Time {
 			touched := 0
 			for slot := 0; slot < mem.HugePages && touched < perRegion && budget > 0; slot += mem.HugePages / perRegion {
 				pte := r.PTEs[slot]
-				if !pte.Present() || !pte.Accessed() || pte.COW() {
+				if !pte.Present() || !r.SlotAccessed(slot) || pte.COW() {
 					continue
 				}
 				if int64(pte.Frame) >= m.vm.highWater {

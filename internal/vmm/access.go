@@ -1,10 +1,16 @@
 package vmm
 
-import "hawkeye/internal/mem"
+import (
+	"math/bits"
 
-// Access-bit plumbing. The "hardware" sets per-PTE access bits when
+	"hawkeye/internal/mem"
+)
+
+// Access-bit plumbing. The "hardware" sets per-slot access bits when
 // workloads touch pages; OS samplers (HawkEye's access-coverage sampler,
-// Ingens' utilization tracker) clear and re-read them periodically.
+// Ingens' utilization tracker) clear and re-read them periodically. For base
+// mappings the bits live in the region's word-granular bitmaps, so setting
+// one is a single OR and scanning a region is eight popcounts.
 
 // TouchResult describes what a memory access encountered.
 type TouchResult int
@@ -42,9 +48,10 @@ func (v *VMM) Access(p *Process, vpn VPN, write bool) TouchResult {
 	if write && e.COW() {
 		return TouchCOW
 	}
-	e.Flags |= pteAccessed
+	w, m := bitOf(slot)
+	r.accessed[w] |= m
 	if write {
-		e.Flags |= pteDirty
+		r.dirty[w] |= m
 		v.Content.Write(e.Frame)
 		v.Alloc.MarkDirty(e.Frame)
 	}
@@ -73,7 +80,9 @@ func (v *VMM) AccessShared(p *Process, vpn VPN, key uint64) TouchResult {
 	if e.COW() {
 		return TouchCOW
 	}
-	e.Flags |= pteAccessed | pteDirty
+	w, m := bitOf(slot)
+	r.accessed[w] |= m
+	r.dirty[w] |= m
 	v.Content.WriteShared(e.Frame, key)
 	v.Alloc.MarkDirty(e.Frame)
 	return TouchOK
@@ -86,9 +95,7 @@ func (r *Region) ClearAccessBits() {
 		r.hugeFlags &^= pteAccessed
 		return
 	}
-	for i := range r.PTEs {
-		r.PTEs[i].Flags &^= pteAccessed
-	}
+	r.accessed = [bitmapWords]uint64{}
 }
 
 // AccessedCount reports how many base-page-sized units were accessed since
@@ -103,10 +110,8 @@ func (r *Region) AccessedCount() int {
 		return 0
 	}
 	n := 0
-	for i := range r.PTEs {
-		if r.PTEs[i].Present() && r.PTEs[i].Accessed() {
-			n++
-		}
+	for _, w := range r.accessed {
+		n += bits.OnesCount64(w)
 	}
 	return n
 }
@@ -123,22 +128,31 @@ func (r *Region) PopulatedAccessedDirty() (populated, accessed, dirty int) {
 		}
 		return
 	}
-	for i := range r.PTEs {
-		e := r.PTEs[i]
-		if !e.Present() {
-			continue
-		}
-		populated++
-		if e.Accessed() {
-			accessed++
-		}
-		if e.Dirty() {
-			dirty++
-		}
+	for i := range r.present {
+		populated += bits.OnesCount64(r.present[i])
+		accessed += bits.OnesCount64(r.accessed[i])
+		dirty += bits.OnesCount64(r.dirty[i])
 	}
 	return
 }
 
 // ClearAccessBit clears one base slot's access bit — the "second chance"
 // step of a clock-style reclaim scan.
-func (r *Region) ClearAccessBit(slot int) { r.PTEs[slot].Flags &^= pteAccessed }
+func (r *Region) ClearAccessBit(slot int) {
+	w, m := bitOf(slot)
+	r.accessed[w] &^= m
+}
+
+// ColdPresentWord returns present-but-not-accessed slots of one bitmap word
+// as a bit mask — the eviction candidates of a clock sweep. Word w covers
+// slots [64w, 64w+64).
+func (r *Region) ColdPresentWord(w int) uint64 {
+	return r.present[w] &^ r.accessed[w]
+}
+
+// ClearAccessWord clears the access bits of one bitmap word — the bulk
+// "second chance" a clock sweep gives a word's worth of hot pages.
+func (r *Region) ClearAccessWord(w int) { r.accessed[w] = 0 }
+
+// BitmapWords is the number of 64-slot words in the per-region bitmaps.
+const BitmapWords = bitmapWords

@@ -55,6 +55,75 @@ func BenchmarkPromoteCopy(b *testing.B) {
 	}
 }
 
+// populatedRegion maps n base pages into region 0 and sets access/dirty
+// bits on every other one — the state a sampler or reclaim scan sees.
+func populatedRegion(b *testing.B, h *harness, n int) (*Process, *Region) {
+	b.Helper()
+	p := h.vmm.NewProcess("bench")
+	r := p.EnsureRegion(0)
+	for slot := 0; slot < n; slot++ {
+		blk, err := h.alloc.Alloc(0, mem.PreferZero, mem.TagAnon)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.vmm.MapBase(p, r, slot, blk.Head)
+	}
+	r.ClearAccessBits()
+	for slot := 0; slot < n; slot += 2 {
+		h.vmm.Access(p, VPN(slot), true)
+	}
+	return p, r
+}
+
+func BenchmarkVMMAccessRead(b *testing.B) {
+	h := benchHarness(b, 64)
+	p, _ := populatedRegion(b, h, mem.HugePages)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if h.vmm.Access(p, VPN(i&(mem.HugePages-1)), false) != TouchOK {
+			b.Fatal("unexpected fault")
+		}
+	}
+}
+
+func BenchmarkRegionAccessedCount(b *testing.B) {
+	h := benchHarness(b, 64)
+	_, r := populatedRegion(b, h, mem.HugePages)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = r.AccessedCount()
+	}
+	if n != mem.HugePages/2 {
+		b.Fatalf("AccessedCount = %d, want %d", n, mem.HugePages/2)
+	}
+}
+
+func BenchmarkRegionClearAccessBits(b *testing.B) {
+	h := benchHarness(b, 64)
+	_, r := populatedRegion(b, h, mem.HugePages)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ClearAccessBits()
+	}
+}
+
+func BenchmarkRegionPopulatedAccessedDirty(b *testing.B) {
+	h := benchHarness(b, 64)
+	_, r := populatedRegion(b, h, mem.HugePages)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pop, _, _ := r.PopulatedAccessedDirty()
+		if pop != mem.HugePages {
+			b.Fatal("bad populated count")
+		}
+	}
+}
+
 func BenchmarkScanForZero(b *testing.B) {
 	h := benchHarness(b, 64)
 	p := h.vmm.NewProcess("bench")

@@ -79,6 +79,7 @@ func (v *VMM) PromoteInPlace(p *Process, r *Region) {
 		e.Frame = mem.NoFrame
 		e.Flags = 0
 	}
+	r.clearSlotBitmaps()
 	r.populated = 0
 	r.resident = 0
 	p.rss -= mem.HugePages
@@ -100,9 +101,10 @@ func (v *VMM) Demote(p *Process, r *Region) {
 	v.UnmapHuge(p, r, false)
 	for slot := 0; slot < mem.HugePages; slot++ {
 		v.MapBase(p, r, slot, head+mem.FrameID(slot))
-		if !accessed {
-			r.PTEs[slot].Flags &^= pteAccessed
-		}
+	}
+	if !accessed {
+		// The huge mapping was cold: the split base mappings inherit that.
+		r.accessed = [bitmapWords]uint64{}
 	}
 	p.Stats.Demotions++
 }

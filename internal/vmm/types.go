@@ -25,14 +25,16 @@ func (r RegionIndex) BaseVPN() VPN { return VPN(r) << mem.HugeOrder }
 // SlotOf returns the index of a VPN within its region (0..511).
 func SlotOf(v VPN) int { return int(v & (mem.HugePages - 1)) }
 
-// pteFlags are per-base-PTE flag bits.
+// pteFlags are per-base-PTE flag bits. pteAccessed and pteDirty only appear
+// in Region.hugeFlags: for base mappings those bits live in the region's
+// word-granular bitmaps (see Region) so samplers scan 8 words, not 512 PTEs.
 type pteFlags uint8
 
 const (
 	ptePresent  pteFlags = 1 << iota // mapping exists
 	pteCOW                           // shared read-only (zero page or KSM)
-	pteAccessed                      // hardware access bit
-	pteDirty                         // written since mapping
+	pteAccessed                      // hardware access bit (huge mappings)
+	pteDirty                         // written since mapping (huge mappings)
 )
 
 // PTE is a base (4 KB) page-table entry.
@@ -46,12 +48,6 @@ func (p PTE) Present() bool { return p.Flags&ptePresent != 0 }
 
 // COW reports whether the entry is a read-only shared mapping.
 func (p PTE) COW() bool { return p.Flags&pteCOW != 0 }
-
-// Accessed reports the hardware access bit.
-func (p PTE) Accessed() bool { return p.Flags&pteAccessed != 0 }
-
-// Dirty reports the dirty bit.
-func (p PTE) Dirty() bool { return p.Flags&pteDirty != 0 }
 
 // Region is the per-2 MB bookkeeping unit: either one huge mapping or up to
 // 512 base mappings. This is the granularity at which every policy in the
@@ -68,6 +64,15 @@ type Region struct {
 	PTEs      [mem.HugePages]PTE
 	populated int // present base PTEs (private or COW)
 	resident  int // present base PTEs counting toward RSS (excludes COW-shared)
+
+	// Per-slot bitmaps over the 512 base slots. present mirrors ptePresent;
+	// accessed and dirty are the authoritative hardware access/dirty bits for
+	// base mappings, which makes AccessedCount, PopulatedAccessedDirty and
+	// ClearAccessBits O(8) word operations (popcount/clear) instead of
+	// 512-entry PTE scans. Invariant: accessed ⊆ present and dirty ⊆ present.
+	present  [bitmapWords]uint64
+	accessed [bitmapWords]uint64
+	dirty    [bitmapWords]uint64
 
 	// Reservation (FreeBSD-style): a pre-allocated physical huge block that
 	// base faults fill in place, enabling copy-free promotion.
@@ -93,6 +98,50 @@ func (r *Region) Resident() int {
 
 // HugeAccessed reports the access bit of a huge mapping.
 func (r *Region) HugeAccessed() bool { return r.hugeFlags&pteAccessed != 0 }
+
+// bitmapWords is the length of the per-region slot bitmaps (512 slots / 64).
+const bitmapWords = mem.HugePages / 64
+
+// bitOf locates a slot's word index and mask within a region bitmap.
+func bitOf(slot int) (word int, mask uint64) {
+	return slot >> 6, 1 << (uint(slot) & 63)
+}
+
+// SlotAccessed reports the hardware access bit of one base slot.
+func (r *Region) SlotAccessed(slot int) bool {
+	w, m := bitOf(slot)
+	return r.accessed[w]&m != 0
+}
+
+// SlotDirty reports the dirty bit of one base slot.
+func (r *Region) SlotDirty(slot int) bool {
+	w, m := bitOf(slot)
+	return r.dirty[w]&m != 0
+}
+
+// markMapped records a freshly installed base mapping: present, and accessed
+// the way x86 fault handling leaves a newly faulted-in PTE.
+func (r *Region) markMapped(slot int) {
+	w, m := bitOf(slot)
+	r.present[w] |= m
+	r.accessed[w] |= m
+}
+
+// markUnmapped clears a slot's presence and its access/dirty history.
+func (r *Region) markUnmapped(slot int) {
+	w, m := bitOf(slot)
+	r.present[w] &^= m
+	r.accessed[w] &^= m
+	r.dirty[w] &^= m
+}
+
+// clearSlotBitmaps resets every per-slot bitmap (promotion wiped the base
+// mapping state wholesale).
+func (r *Region) clearSlotBitmaps() {
+	r.present = [bitmapWords]uint64{}
+	r.accessed = [bitmapWords]uint64{}
+	r.dirty = [bitmapWords]uint64{}
+}
 
 // mappingKind discriminates reverse-mapping entries.
 type mappingKind uint8

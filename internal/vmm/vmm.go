@@ -177,7 +177,8 @@ func (v *VMM) MapBase(p *Process, r *Region, slot int, frame mem.FrameID) {
 		panic(fmt.Sprintf("vmm: MapBase over present PTE (pid %d region %d slot %d)", p.PID, r.Index, slot))
 	}
 	e.Frame = frame
-	e.Flags = ptePresent | pteAccessed
+	e.Flags = ptePresent
+	r.markMapped(slot)
 	r.populated++
 	r.resident++
 	p.rss++
@@ -196,7 +197,8 @@ func (v *VMM) MapShared(p *Process, r *Region, slot int, frame mem.FrameID) {
 		panic("vmm: MapShared over present PTE")
 	}
 	e.Frame = frame
-	e.Flags = ptePresent | pteCOW | pteAccessed
+	e.Flags = ptePresent | pteCOW
+	r.markMapped(slot)
 	r.populated++
 	if frame != v.ZeroFrame {
 		v.refs[frame]++
@@ -231,6 +233,7 @@ func (v *VMM) UnmapBase(p *Process, r *Region, slot int, freeFrame bool) {
 	shared := e.COW()
 	e.Frame = mem.NoFrame
 	e.Flags = 0
+	r.markUnmapped(slot)
 	r.populated--
 	if shared {
 		if frame != v.ZeroFrame {
