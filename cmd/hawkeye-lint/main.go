@@ -1,0 +1,314 @@
+// hawkeye-lint is the project's static-analysis driver. It bundles the
+// three HawkEye analyzers (determinism, unitsafety, eventorder — see
+// internal/analysis) and runs in two modes:
+//
+// Standalone, over package patterns, loading and type-checking from source:
+//
+//	hawkeye-lint ./...
+//	hawkeye-lint ./internal/vmm ./internal/kernel
+//
+// As a vet tool, speaking cmd/go's unitchecker protocol (-V=full / -flags
+// handshake, then one invocation per package with a vet.cfg file whose
+// dependencies are imported from compiler export data):
+//
+//	go vet -vettool=$(which hawkeye-lint) ./...
+//
+// Exit status: 0 clean, 1 usage or load failure, 2 findings.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hawkeye/internal/analysis"
+	"hawkeye/internal/analysis/determinism"
+	"hawkeye/internal/analysis/eventorder"
+	"hawkeye/internal/analysis/loader"
+	"hawkeye/internal/analysis/unitsafety"
+)
+
+// all is the analyzer suite; //lint:allow directives may name any of these.
+var all = []*analysis.Analyzer{
+	determinism.Analyzer,
+	unitsafety.Analyzer,
+	eventorder.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+	// cmd/go handshake: `-V=full` must print a version line whose last
+	// field is a buildID; `-flags` must print the tool's flag schema.
+	for _, a := range args {
+		if a == "-V=full" || a == "-V" {
+			printVersion()
+			return
+		}
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && !strings.HasPrefix(args[0], "-") && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+	os.Exit(standalone(args))
+}
+
+// printVersion emits the `-V=full` line cmd/go hashes into its build cache
+// key. The buildID is a digest of this very executable, so editing an
+// analyzer invalidates cached vet results.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil)[:16])
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("hawkeye-lint version devel buildID=%s\n", id)
+}
+
+func fail(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "hawkeye-lint: "+format+"\n", args...)
+	return 1
+}
+
+func report(diags []analysis.Diagnostic) int {
+	if len(diags) == 0 {
+		return 0
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	return 2
+}
+
+// ---- standalone mode -------------------------------------------------------
+
+func standalone(args []string) int {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	l, err := loader.New(".")
+	if err != nil {
+		return fail("%v", err)
+	}
+	// Test files are not loaded: findings in _test.go are exempt anyway
+	// (see analysis.RunAnalyzers), and in-package test files can form
+	// import cycles the one-package-per-path loader cannot express.
+	dirs, err := expandPatterns(l.ModuleDir, args)
+	if err != nil {
+		return fail("%v", err)
+	}
+	var diags []analysis.Diagnostic
+	status := 0
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			status = fail("%v", err)
+			continue
+		}
+		ds, err := analysis.RunAnalyzers(l.Fset, pkg.Files, pkg.Types, pkg.Info, all)
+		if err != nil {
+			status = fail("%v", err)
+			continue
+		}
+		diags = append(diags, ds...)
+	}
+	if rc := report(diags); rc != 0 {
+		return rc
+	}
+	return status
+}
+
+// expandPatterns resolves package patterns to package directories. `...`
+// wildcards walk the tree, skipping testdata, vendor and hidden/underscore
+// directories, exactly as the go tool does.
+func expandPatterns(moduleDir string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return
+		}
+		if !seen[abs] {
+			seen[abs] = true
+			dirs = append(dirs, abs)
+		}
+	}
+	for _, pat := range patterns {
+		base, rec := strings.CutSuffix(pat, "...")
+		base = strings.TrimSuffix(base, "/")
+		if base == "" {
+			base = "."
+		}
+		if !rec {
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- unitchecker mode (go vet -vettool) ------------------------------------
+
+// vetConfig mirrors the JSON cmd/go writes for each vet invocation.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return fail("%v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fail("parsing %s: %v", cfgPath, err)
+	}
+	// The suite has no cross-package facts; an empty vetx file satisfies
+	// both cmd/go and downstream packages that list it in PackageVetx.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return fail("%v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			return fail("%v", err)
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(importPath)
+	})
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tconf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {},
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		return fail("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	diags, err := analysis.RunAnalyzers(fset, files, pkg, info, all)
+	if err != nil {
+		return fail("%v", err)
+	}
+	return report(diags)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"hawkeye"
+	"hawkeye/internal/mem"
 )
 
 func main() {
@@ -40,11 +41,11 @@ func main() {
 
 	sim := hawkeye.NewSim(hawkeye.Options{
 		Policy:       *policyName,
-		MemoryBytes:  int64(*memGB * float64(1<<30)),
+		MemoryBytes:  mem.Bytes(*memGB * float64(1<<30)),
 		Scale:        *scale,
 		Seed:         *seed,
 		FragmentKeep: *fragment,
-		SwapBytes:    int64(*swapGB * float64(1<<30)),
+		SwapBytes:    mem.Bytes(*swapGB * float64(1<<30)),
 	})
 
 	names := strings.Split(*workloads, ",")

@@ -28,6 +28,7 @@ import (
 
 	"hawkeye/internal/core"
 	"hawkeye/internal/kernel"
+	"hawkeye/internal/mem"
 	"hawkeye/internal/policy"
 	"hawkeye/internal/sim"
 	"hawkeye/internal/workload"
@@ -100,7 +101,7 @@ type Options struct {
 	Policy string
 	// MemoryBytes is the simulated DRAM size; default 8 GiB (the paper's
 	// 96 GB host at 1/12 scale).
-	MemoryBytes int64
+	MemoryBytes mem.Bytes
 	// Scale shrinks workload footprints; default 1/12 to match the memory
 	// scale.
 	Scale float64
@@ -113,7 +114,7 @@ type Options struct {
 	// SwapBytes sizes the SSD-backed swap partition (0 = none); with swap,
 	// overcommitted machines page instead of OOM-killing, as on the
 	// paper's testbed.
-	SwapBytes int64
+	SwapBytes mem.Bytes
 }
 
 // DefaultScale is the footprint scale matching the default 8 GiB machine.

@@ -1,0 +1,115 @@
+// Package analysis is a dependency-free re-implementation of the core of
+// golang.org/x/tools/go/analysis, sized for this repository's needs: it
+// defines the Analyzer/Pass/Diagnostic vocabulary, a shared
+// //lint:allow suppression directive, and (in subdirectories) the three
+// HawkEye-specific analyzers that mechanically enforce the invariants the
+// evaluation rests on:
+//
+//   - determinism: the discrete-event simulation must be bit-for-bit
+//     reproducible, so wall-clock time, global RNG state, unordered map
+//     iteration with side effects, and stray goroutines are banned from the
+//     simulation packages (internal/runner, the parallel driver, is the one
+//     sanctioned home for concurrency).
+//   - unitsafety: page counts, region counts, byte sizes and walk cycles
+//     are distinct defined types (mem.Pages, mem.Regions, mem.Bytes,
+//     sim.Cycles); converting between them by raw <<9 / <<21 / *4096
+//     arithmetic instead of the named helpers is flagged.
+//   - eventorder: comparator functions ordering simulated timestamps must
+//     honour the documented tie-break key (Engine's FIFO sequence number);
+//     a Less that compares sim.Time alone breaks replay determinism.
+//
+// The framework is deliberately small: no facts, no modular analysis — every
+// analyzer inspects one type-checked package at a time, which is all the
+// three checks need. cmd/hawkeye-lint is the driver; it speaks both a
+// standalone package-pattern mode and the `go vet -vettool` protocol.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:allow
+	// directives. It must be a valid identifier.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass presents one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings recorded so far.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
+
+// RunAnalyzers applies every analyzer to the package and returns the
+// surviving findings: suppressed diagnostics (//lint:allow) are filtered
+// out, and malformed suppression directives are themselves reported.
+// Findings in _test.go files are dropped: the invariants bind the
+// simulation code proper, while tests are the thing that asserts them (a
+// test may legitimately time itself or fan out goroutines).
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sup, supDiags := ScanSuppressions(fset, files, analyzers)
+	out := supDiags
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		if err := a.Run(pass); err != nil {
+			return out, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		for _, d := range pass.diags {
+			if sup.Allows(a.Name, d.Pos) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	kept := out[:0]
+	for _, d := range out {
+		if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, nil
+}

@@ -1,0 +1,161 @@
+// Package analysistest runs an analyzer over testdata packages and checks
+// its diagnostics against `// want "regexp"` annotations, mirroring the
+// x/tools package of the same name. Testdata lives in a GOPATH-style
+// layout under the analyzer's directory:
+//
+//	testdata/src/<import/path>/*.go
+//
+// so a test package can impersonate any import path — including the real
+// simulation packages ("hawkeye/internal/kernel") and the unit-type homes
+// ("hawkeye/internal/mem"), which the analyzers recognize by path.
+//
+// Each expected finding is annotated on the offending line:
+//
+//	t := time.Now() // want `time\.Now reads the wall clock`
+//
+// Multiple expectations may follow one `// want`, each in backquotes or
+// double quotes. Suppressed findings (//lint:allow) must NOT carry a want
+// annotation: the harness verifies suppression by the absence of the
+// diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hawkeye/internal/analysis"
+	"hawkeye/internal/analysis/loader"
+)
+
+// Run loads each import path from dir's testdata/src tree, applies the
+// analyzer (with //lint:allow filtering, as the real driver does), and
+// reports mismatches against // want annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	overlay, err := filepath.Abs(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := loader.New(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Overlay = overlay
+
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		diags, err := analysis.RunAnalyzers(l.Fset, pkg.Files, pkg.Types, pkg.Info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		check(t, l.Fset, pkg.Files, diags)
+	}
+}
+
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// check compares diagnostics against the // want annotations in files.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	// key: filename:line
+	wants := map[string][]*expectation{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, pat := range parseWant(text[idx+len("// want "):]) {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", key, pat, err)
+						continue
+					}
+					wants[key] = append(wants[key], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.rx)
+			}
+		}
+	}
+}
+
+// parseWant extracts the quoted or backquoted patterns following // want.
+func parseWant(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return out
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[2+end:])
+		case '"':
+			// Find the closing quote, honouring escapes via strconv.
+			q, rest, err := scanQuoted(s)
+			if err != nil {
+				return out
+			}
+			out = append(out, q)
+			s = strings.TrimSpace(rest)
+		default:
+			return out
+		}
+	}
+	return out
+}
+
+func scanQuoted(s string) (string, string, error) {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			q, err := strconv.Unquote(s[:i+1])
+			return q, s[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string")
+}

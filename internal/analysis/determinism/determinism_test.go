@@ -1,0 +1,15 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"hawkeye/internal/analysis/analysistest"
+	"hawkeye/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer,
+		"hawkeye/internal/kernel",
+		"hawkeye/internal/runner",
+	)
+}

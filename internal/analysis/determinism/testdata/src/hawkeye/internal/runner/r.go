@@ -1,0 +1,19 @@
+// Package runner impersonates internal/runner: the parallel experiment
+// driver is the one sanctioned home for goroutines and wall-clock timing.
+package runner
+
+import "time"
+
+func workers(jobs chan int) {
+	for i := 0; i < 4; i++ {
+		go func() { // ok: goroutines are the runner's job
+			for range jobs {
+			}
+		}()
+	}
+}
+
+func wallTiming() time.Duration {
+	t0 := time.Now() // ok: runner measures real elapsed time
+	return time.Since(t0)
+}

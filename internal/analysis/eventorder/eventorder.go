@@ -1,0 +1,135 @@
+// Package eventorder guards the replay-determinism contract of the
+// discrete-event engine: events scheduled at the same simulated instant
+// fire in FIFO order, keyed by the engine's sequence number (the documented
+// tie-break in sim.Engine). A comparator that orders elements by their
+// sim.Time field alone silently ties on equal timestamps — heap and sort
+// order then depend on memory layout, which is exactly the bug class that
+// breaks bit-for-bit replay. Any comparator comparing a sim.Time field must
+// also consult a secondary key.
+package eventorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hawkeye/internal/analysis"
+)
+
+// Analyzer flags timestamp comparators that lack a tie-break key.
+var Analyzer = &analysis.Analyzer{
+	Name: "eventorder",
+	Doc: "comparators ordering sim.Time fields must break ties on a " +
+		"secondary key (the engine's FIFO sequence number)",
+	Run: run,
+}
+
+const simPath = "hawkeye/internal/sim"
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkComparator(pass, n.Type, n.Body)
+				}
+			case *ast.FuncLit:
+				checkComparator(pass, n.Type, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSimTime reports whether t is the sim.Time type.
+func isSimTime(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == simPath && obj.Name() == "Time"
+}
+
+// checkComparator inspects a function with a single bool result. If its
+// body orders two elements by the same sim.Time-typed field and never
+// references any other field of those elements, the comparator has no
+// tie-break and is flagged.
+func checkComparator(pass *analysis.Pass, sig *ast.FuncType, body *ast.BlockStmt) {
+	if sig.Results == nil || len(sig.Results.List) != 1 {
+		return
+	}
+	rt, ok := pass.TypesInfo.Types[sig.Results.List[0].Type]
+	if !ok {
+		return
+	}
+	basic, ok := rt.Type.Underlying().(*types.Basic)
+	if !ok || basic.Kind() != types.Bool {
+		return
+	}
+
+	info := pass.TypesInfo
+	var timeCmp *ast.BinaryExpr // first ordering comparison of a sim.Time field
+	timeFields := map[string]bool{}
+	otherFields := map[string]bool{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested comparators are checked on their own
+		}
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				lf, lok := fieldSelector(info, n.X)
+				rf, rok := fieldSelector(info, n.Y)
+				if lok && rok && lf.name == rf.name && lf.isTime && rf.isTime {
+					if timeCmp == nil {
+						timeCmp = n
+					}
+					timeFields[lf.name] = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if f, ok := fieldSelector(info, n); ok && !f.isTime {
+				otherFields[f.name] = true
+			}
+		}
+		return true
+	})
+
+	if timeCmp == nil {
+		return
+	}
+	if len(otherFields) > 0 {
+		return // some secondary key is consulted; assume it breaks ties
+	}
+	pass.Reportf(timeCmp.Pos(), "comparator orders events by sim.Time alone: equal timestamps tie nondeterministically — compare the FIFO sequence number (or another total key) when times are equal")
+}
+
+type fieldRef struct {
+	name   string
+	isTime bool
+}
+
+// fieldSelector matches expressions of the form X.f (possibly through
+// indexing, e.g. h[i].at) where f is a struct field, reporting the field
+// name and whether its type is sim.Time.
+func fieldSelector(info *types.Info, e ast.Expr) (fieldRef, bool) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return fieldRef{}, false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return fieldRef{}, false
+	}
+	// Method references count as non-time secondary keys: a tie-break may
+	// consult arbitrary state through a call.
+	if s.Kind() != types.FieldVal {
+		return fieldRef{name: sel.Sel.Name, isTime: false}, true
+	}
+	return fieldRef{name: sel.Sel.Name, isTime: isSimTime(s.Obj().Type())}, true
+}

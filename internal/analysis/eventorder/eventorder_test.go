@@ -1,0 +1,14 @@
+package eventorder_test
+
+import (
+	"testing"
+
+	"hawkeye/internal/analysis/analysistest"
+	"hawkeye/internal/analysis/eventorder"
+)
+
+func TestEventOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", eventorder.Analyzer,
+		"hawkeye/internal/policy",
+	)
+}

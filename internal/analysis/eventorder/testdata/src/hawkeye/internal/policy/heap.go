@@ -1,0 +1,66 @@
+// Package policy exercises event comparators: any ordering of sim.Time
+// fields must break ties on a secondary key.
+package policy
+
+import (
+	"sort"
+
+	"hawkeye/internal/sim"
+)
+
+type ev struct {
+	at  sim.Time
+	seq uint64
+}
+
+type badHeap []ev
+
+func (h badHeap) Len() int      { return len(h) }
+func (h badHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h badHeap) Less(i, j int) bool {
+	return h[i].at < h[j].at // want `orders events by sim\.Time alone`
+}
+
+type goodHeap []ev
+
+func (h goodHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func sortBad(evs []ev) {
+	sort.Slice(evs, func(i, j int) bool { return evs[i].at < evs[j].at }) // want `orders events by sim\.Time alone`
+}
+
+func sortGood(evs []ev) {
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].seq < evs[j].seq
+	})
+}
+
+type idEv struct {
+	at sim.Time
+}
+
+func (e idEv) id() int { return 0 }
+
+// lessWithMethod consults state through a call: treated as a secondary key.
+func lessWithMethod(a, b idEv) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.id() < b.id()
+}
+
+// notAComparator returns no bool; timestamp math inside is not an ordering.
+func notAComparator(a, b ev) sim.Time {
+	if a.at < b.at {
+		return a.at
+	}
+	return b.at
+}

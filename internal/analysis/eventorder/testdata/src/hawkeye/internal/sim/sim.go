@@ -1,0 +1,5 @@
+// Package sim impersonates the real simulation clock package.
+package sim
+
+// Time is simulated time in microseconds.
+type Time int64

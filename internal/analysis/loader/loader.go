@@ -1,0 +1,285 @@
+// Package loader parses and type-checks Go packages from source using only
+// the standard library — no golang.org/x/tools, no export data, no network.
+// Import paths are resolved in three tiers: overlay roots first (used by the
+// analysistest harness to substitute testdata packages, exactly like
+// x/tools' analysistest GOPATH layout), then the enclosing module, then
+// GOROOT/src. The transitive standard-library closure is type-checked from
+// source and cached per Loader, so checking many packages in one run pays
+// the stdlib cost once.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Files []*ast.File // syntax, only for packages loaded with syntax retained
+	Types *types.Package
+	Info  *types.Info // non-nil only for target packages
+}
+
+// Loader resolves, parses and type-checks packages.
+type Loader struct {
+	Fset *token.FileSet
+
+	// ModuleDir and ModulePath locate the enclosing module (the "hawkeye"
+	// module root). Empty ModulePath disables module resolution.
+	ModuleDir  string
+	ModulePath string
+
+	// Overlay maps are consulted before module and GOROOT resolution: an
+	// import path P resolves to dir Overlay+"/"+P when that directory holds
+	// Go files. Used by the test harness for testdata packages.
+	Overlay string
+
+	// IncludeTests adds in-package _test.go files of *target* packages.
+	IncludeTests bool
+
+	ctxt  build.Context
+	cache map[string]*entry
+}
+
+type entry struct {
+	pkg *Package
+	err error
+}
+
+// New returns a loader rooted at the module containing dir (dir may be the
+// module root itself or any directory beneath it). The module path is read
+// from go.mod.
+func New(dir string) (*Loader, error) {
+	moduleDir, modulePath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		Fset:       token.NewFileSet(),
+		ModuleDir:  moduleDir,
+		ModulePath: modulePath,
+	}
+	l.init()
+	return l, nil
+}
+
+func (l *Loader) init() {
+	if l.cache == nil {
+		l.cache = map[string]*entry{}
+	}
+	if l.Fset == nil {
+		l.Fset = token.NewFileSet()
+	}
+	l.ctxt = build.Default
+	// Force pure-Go file selection: the type checker cannot see through cgo,
+	// and every stdlib package this module depends on has a !cgo fallback.
+	l.ctxt.CgoEnabled = false
+}
+
+// findModule walks up from dir to the first go.mod.
+func findModule(dir string) (moduleDir, modulePath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		gm := filepath.Join(d, "go.mod")
+		if data, err := os.ReadFile(gm); err == nil {
+			return d, parseModulePath(data), nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("loader: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+func parseModulePath(gomod []byte) string {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// resolveDir maps an import path to the directory holding its source.
+func (l *Loader) resolveDir(path string) (string, error) {
+	if l.Overlay != "" {
+		d := filepath.Join(l.Overlay, filepath.FromSlash(path))
+		if hasGoFiles(d) {
+			return d, nil
+		}
+	}
+	if l.ModulePath != "" {
+		if path == l.ModulePath {
+			return l.ModuleDir, nil
+		}
+		if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+			return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), nil
+		}
+	}
+	d := filepath.Join(l.ctxt.GOROOT, "src", filepath.FromSlash(path))
+	if hasGoFiles(d) {
+		return d, nil
+	}
+	return "", fmt.Errorf("loader: cannot resolve import %q", path)
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load type-checks the package at the import path, loading dependencies as
+// needed. Target packages (loaded directly through Load) retain syntax and
+// carry a populated types.Info; transitively loaded dependencies do not.
+func (l *Loader) Load(path string) (*Package, error) {
+	l.init()
+	return l.load(path, true, nil)
+}
+
+// LoadDir type-checks the package in a directory, deriving its import path
+// from the module (or overlay) layout.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	l.init()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := l.dirToImportPath(abs)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(path, true, nil)
+}
+
+func (l *Loader) dirToImportPath(abs string) (string, error) {
+	if l.Overlay != "" {
+		if rel, err := filepath.Rel(l.Overlay, abs); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel), nil
+		}
+	}
+	rel, err := filepath.Rel(l.ModuleDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("loader: %s is outside module %s", abs, l.ModuleDir)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+func (l *Loader) load(path string, target bool, stack []string) (*Package, error) {
+	for _, s := range stack {
+		if s == path {
+			return nil, fmt.Errorf("loader: import cycle: %s", strings.Join(append(stack, path), " -> "))
+		}
+	}
+	if e, ok := l.cache[path]; ok {
+		return e.pkg, e.err
+	}
+	// Module-internal packages are always loaded with syntax and info, even
+	// when first reached as a dependency: re-type-checking them later as a
+	// target would mint a second *types.Package for the same path, and the
+	// two copies' types are not identical to the checker.
+	full := target || l.inModule(path)
+	pkg, err := l.loadUncached(path, full, target, append(stack, path))
+	l.cache[path] = &entry{pkg: pkg, err: err}
+	return pkg, err
+}
+
+// inModule reports whether path belongs to the enclosing module (or to an
+// overlay tree impersonating it).
+func (l *Loader) inModule(path string) bool {
+	if l.ModulePath != "" &&
+		(path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")) {
+		return true
+	}
+	if l.Overlay != "" {
+		return hasGoFiles(filepath.Join(l.Overlay, filepath.FromSlash(path)))
+	}
+	return false
+}
+
+func (l *Loader) loadUncached(path string, full, target bool, stack []string) (*Package, error) {
+	if path == "unsafe" {
+		return &Package{Path: path, Types: types.Unsafe}, nil
+	}
+	dir, err := l.resolveDir(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("loader: %s: %w", path, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	if full && l.IncludeTests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	var info *types.Info
+	if full {
+		info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) {
+			dep, err := l.load(p, false, stack)
+			if err != nil {
+				return nil, err
+			}
+			return dep.Types, nil
+		}),
+		Sizes: types.SizesFor("gc", l.ctxt.GOARCH),
+		Error: func(error) {}, // collect all errors; Check returns the first
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: typecheck %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Types: tpkg, Info: info}
+	if full {
+		p.Files = files
+	}
+	return p, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,20 @@
+package loader
+
+import "testing"
+
+func TestSmokeLoadRealPackages(t *testing.T) {
+	l, err := New(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"hawkeye/internal/kernel", "hawkeye/internal/experiments", "hawkeye/internal/runner"} {
+		pkg, err := l.Load(p)
+		if err != nil {
+			t.Fatalf("load %s: %v", p, err)
+		}
+		if len(pkg.Files) == 0 || pkg.Info == nil {
+			t.Fatalf("%s: missing syntax or info", p)
+		}
+		t.Logf("%s ok, %d files", p, len(pkg.Files))
+	}
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives let intentional exceptions live next to the code
+// they excuse, with a mandatory reason so the exception is self-documenting:
+//
+//	//lint:allow determinism wall-clock timing of the real (not simulated) run
+//	v := time.Now()
+//
+// A directive applies to findings on its own line and on the line
+// immediately following it. The analyzer name must match a registered
+// analyzer; the reason must be non-empty. Malformed directives are reported
+// as findings themselves rather than silently ignored — a suppression that
+// suppresses nothing is a lie in the source.
+
+const suppressPrefix = "//lint:allow "
+
+// Suppressions records where //lint:allow directives permit findings.
+type Suppressions struct {
+	// allowed maps analyzer name -> file name -> set of line numbers on
+	// which findings are permitted.
+	allowed map[string]map[string]map[int]bool
+}
+
+// Allows reports whether a finding by the named analyzer at pos is covered
+// by a directive.
+func (s *Suppressions) Allows(analyzer string, pos token.Position) bool {
+	files := s.allowed[analyzer]
+	if files == nil {
+		return false
+	}
+	return files[pos.Filename][pos.Line]
+}
+
+// ScanSuppressions collects //lint:allow directives from the files. Any
+// malformed directive (unknown analyzer, missing reason) is returned as a
+// diagnostic attributed to the pseudo-analyzer "lintdirective".
+func ScanSuppressions(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) (*Suppressions, []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	s := &Suppressions{allowed: map[string]map[string]map[int]bool{}}
+	var diags []Diagnostic
+	bad := func(pos token.Position, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Analyzer: "lintdirective",
+			Pos:      pos,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, suppressPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, suppressPrefix)
+				// A nested comment (e.g. a test's "// want" annotation) is
+				// not part of the reason.
+				rest, _, _ = strings.Cut(rest, "//")
+				name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				if name == "" {
+					bad(pos, "malformed //lint:allow: missing analyzer name")
+					continue
+				}
+				if !known[name] {
+					bad(pos, "//lint:allow names unknown analyzer %q", name)
+					continue
+				}
+				if strings.TrimSpace(reason) == "" {
+					bad(pos, "//lint:allow %s: a reason is required", name)
+					continue
+				}
+				byFile := s.allowed[name]
+				if byFile == nil {
+					byFile = map[string]map[int]bool{}
+					s.allowed[name] = byFile
+				}
+				lines := byFile[pos.Filename]
+				if lines == nil {
+					lines = map[int]bool{}
+					byFile[pos.Filename] = lines
+				}
+				// The directive covers its own line (trailing comment) and
+				// the next line (comment above the statement).
+				lines[pos.Line] = true
+				lines[pos.Line+1] = true
+			}
+		}
+	}
+	return s, diags
+}

@@ -1,0 +1,9 @@
+// Package vmm impersonates the real virtual-memory package: VPN and
+// RegionIndex are distinct address quantities.
+package vmm
+
+type VPN int64
+type RegionIndex int64
+
+//lint:allow unitsafety RegionOf is the canonical VPN->RegionIndex helper
+func RegionOf(v VPN) RegionIndex { return RegionIndex(v >> 9) }

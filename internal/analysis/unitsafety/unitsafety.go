@@ -1,0 +1,159 @@
+// Package unitsafety enforces the quantity-type discipline that keeps the
+// paper's unit conversions honest: 4 KB page counts (mem.Pages), 2 MB
+// region counts (mem.Regions), byte sizes (mem.Bytes), page-walk cycles
+// (sim.Cycles) and the virtual-address quantities (vmm.VPN,
+// vmm.RegionIndex) are distinct defined types, and converting between them
+// must go through the named helpers (Pages.Bytes, Bytes.Pages,
+// Regions.Pages, mem.PagesPerRegion, mem.RegionBytes, vmm.RegionOf, ...)
+// rather than raw <<9 / >>21 / *4096 arithmetic. A silent shift in the
+// wrong direction skews every reproduced figure; the helpers carry the
+// geometry in exactly one place.
+package unitsafety
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"hawkeye/internal/analysis"
+)
+
+// Analyzer flags unit-bypassing conversions and shift arithmetic.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitsafety",
+	Doc: "forbid raw shift/multiply conversions between page, region, byte " +
+		"and cycle quantities; use the named unit helpers",
+	Run: run,
+}
+
+// unitTypes names the defined quantity types, keyed by package path.
+var unitTypes = map[string]map[string]bool{
+	"hawkeye/internal/mem": {"Pages": true, "Regions": true, "Bytes": true},
+	"hawkeye/internal/sim": {"Cycles": true},
+	"hawkeye/internal/vmm": {"VPN": true, "RegionIndex": true},
+}
+
+// shiftGeometry are shift counts that encode page/region geometry:
+// 9 = pages per region (2MB/4KB), 12 = bytes per page, 21 = bytes per region.
+var shiftGeometry = map[int64]bool{9: true, 12: true, 21: true}
+
+// factorGeometry are multiplier/divisor values that encode the same
+// geometry: 512 pages per region, 4096 bytes per page, 2 MiB per region.
+var factorGeometry = map[int64]bool{512: true, 4096: true, 2 << 20: true}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkConversion(pass, n)
+			case *ast.BinaryExpr:
+				checkArith(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// unitTypeName reports the defined unit type of t ("" if none).
+func unitTypeName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	if names := unitTypes[obj.Pkg().Path()]; names[obj.Name()] {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return ""
+}
+
+// unitOperand reports the unit type carried by e, looking through plain
+// integer conversions such as int64(p) so that `int64(pages) << 9` is still
+// caught.
+func unitOperand(info *types.Info, e ast.Expr) string {
+	e = ast.Unparen(e)
+	tv, ok := info.Types[e]
+	if !ok {
+		return ""
+	}
+	if name := unitTypeName(tv.Type); name != "" {
+		return name
+	}
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if ft, ok := info.Types[call.Fun]; ok && ft.IsType() {
+			return unitOperand(info, call.Args[0])
+		}
+	}
+	return ""
+}
+
+// checkConversion flags direct conversions between two different unit
+// types: mem.Bytes(p) where p is mem.Pages must be p.Bytes().
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	info := pass.TypesInfo
+	ft, ok := info.Types[call.Fun]
+	if !ok || !ft.IsType() {
+		return
+	}
+	dst := unitTypeName(ft.Type)
+	if dst == "" {
+		return
+	}
+	at, ok := info.Types[call.Args[0]]
+	if !ok || at.Type == nil {
+		return
+	}
+	src := unitTypeName(at.Type)
+	if src == "" || src == dst {
+		return
+	}
+	pass.Reportf(call.Pos(), "direct conversion %s -> %s reinterprets the quantity without rescaling: use the named unit helper", src, dst)
+}
+
+// checkArith flags shifts by geometry counts and multiplies/divides by
+// geometry factors applied to unit-typed operands.
+func checkArith(pass *analysis.Pass, bin *ast.BinaryExpr) {
+	info := pass.TypesInfo
+	switch bin.Op {
+	case token.SHL, token.SHR:
+		unit := unitOperand(info, bin.X)
+		if unit == "" {
+			return
+		}
+		if v, ok := constIntValue(info, bin.Y); ok && shiftGeometry[v] {
+			pass.Reportf(bin.Pos(), "%s %s %d re-derives page/region geometry by hand: use the named unit helper instead of the raw shift", unit, bin.Op, v)
+		}
+	case token.MUL, token.QUO:
+		x, y := unitOperand(info, bin.X), unitOperand(info, bin.Y)
+		if x == "" && y == "" {
+			return
+		}
+		other := bin.Y
+		unit := x
+		if unit == "" {
+			unit = y
+			other = bin.X
+		}
+		if v, ok := constIntValue(info, other); ok && factorGeometry[v] {
+			pass.Reportf(bin.Pos(), "%s %s %d re-derives page/region geometry by hand: use the named unit helper instead of the raw factor", unit, bin.Op, v)
+		}
+	}
+}
+
+// constIntValue evaluates e as a constant integer (literal or named const).
+func constIntValue(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

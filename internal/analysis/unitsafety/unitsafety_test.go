@@ -1,0 +1,16 @@
+package unitsafety_test
+
+import (
+	"testing"
+
+	"hawkeye/internal/analysis/analysistest"
+	"hawkeye/internal/analysis/unitsafety"
+)
+
+func TestUnitSafety(t *testing.T) {
+	analysistest.Run(t, "testdata", unitsafety.Analyzer,
+		"hawkeye/internal/mem",
+		"hawkeye/internal/vmm",
+		"hawkeye/internal/kernel",
+	)
+}

@@ -174,12 +174,16 @@ func (m *AccessMap) EstimatedOverhead() float64 {
 // pages are cold (low value).
 func (m *AccessMap) HugeColdness() float64 {
 	sum, n := 0.0, 0
-	for _, info := range m.infos {
-		if info.stale || !info.region.Huge {
-			continue
+	// Walk the bucket lists, not the infos map: float accumulation is not
+	// associative, so a random map order would leak into the average.
+	for b := range m.buckets {
+		for _, info := range m.buckets[b] {
+			if info.stale || !info.region.Huge {
+				continue
+			}
+			sum += info.ema
+			n++
 		}
-		sum += info.ema
-		n++
 	}
 	if n == 0 {
 		return 0

@@ -82,7 +82,7 @@ type Config struct {
 	// HugePageLimit is the §3.5(2) starvation guard: a per-process cap on
 	// huge mappings (0 = unlimited), the cgroup-style integration point the
 	// paper suggests for containing adversarial processes.
-	HugePageLimit int64
+	HugePageLimit mem.Regions
 }
 
 // DefaultConfig returns the paper's prototype parameters.

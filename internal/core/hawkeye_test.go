@@ -10,7 +10,7 @@ import (
 	"hawkeye/internal/workload"
 )
 
-func testKernel(mb int64, pol kernel.Policy) *kernel.Kernel {
+func testKernel(mb mem.Bytes, pol kernel.Policy) *kernel.Kernel {
 	cfg := kernel.DefaultConfig()
 	cfg.MemoryBytes = mb << 20
 	return kernel.New(cfg, pol)

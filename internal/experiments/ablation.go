@@ -102,7 +102,7 @@ func Ablation(o Options) (*Table, error) {
 			cfg.WatermarkHigh = 1.1 // never triggers
 		}
 		kcfg := kernel.DefaultConfig()
-		kcfg.MemoryBytes = int64(float64(48<<30) * o.Scale)
+		kcfg.MemoryBytes = mem.Bytes(float64(48<<30) * o.Scale)
 		kcfg.Seed = o.Seed
 		pol := core.New(cfg)
 		k := kernel.New(kcfg, pol)

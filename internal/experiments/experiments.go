@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"hawkeye/internal/kernel"
+	"hawkeye/internal/mem"
 	"hawkeye/internal/policy"
 	"hawkeye/internal/sim"
 	"hawkeye/internal/workload"
@@ -23,7 +24,7 @@ type Options struct {
 	// 8 GiB machine standing in for the paper's 96 GB host).
 	Scale float64
 	// MemoryBytes overrides the machine size (default 96 GB × Scale).
-	MemoryBytes int64
+	MemoryBytes mem.Bytes
 	// Seed selects the deterministic RNG stream.
 	Seed uint64
 	// Quick shortens steady-state phases ~10× for use under `go test
@@ -39,13 +40,16 @@ type Options struct {
 // creates. It is safe for concurrent use so the parallel runner can share
 // one per experiment while workers run side by side.
 type Metrics struct {
-	mu      sync.Mutex
-	engines map[*sim.Engine]struct{}
+	mu   sync.Mutex
+	seen map[*sim.Engine]struct{}
+	// engines holds the registration order; sums walk this slice rather
+	// than the dedup map so aggregation order never depends on map order.
+	engines []*sim.Engine
 }
 
 // NewMetrics returns an empty collector.
 func NewMetrics() *Metrics {
-	return &Metrics{engines: make(map[*sim.Engine]struct{})}
+	return &Metrics{seen: make(map[*sim.Engine]struct{})}
 }
 
 // observe registers a machine's event engine (deduplicated by pointer, so
@@ -55,7 +59,10 @@ func (m *Metrics) observe(e *sim.Engine) {
 		return
 	}
 	m.mu.Lock()
-	m.engines[e] = struct{}{}
+	if _, ok := m.seen[e]; !ok {
+		m.seen[e] = struct{}{}
+		m.engines = append(m.engines, e)
+	}
 	m.mu.Unlock()
 }
 
@@ -67,7 +74,7 @@ func (m *Metrics) EventsFired() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var n uint64
-	for e := range m.engines {
+	for _, e := range m.engines {
 		n += e.Fired()
 	}
 	return n
@@ -89,7 +96,7 @@ func (o Options) withDefaults() Options {
 		o.Scale = 1.0 / 12
 	}
 	if o.MemoryBytes <= 0 {
-		o.MemoryBytes = int64(float64(96<<30) * o.Scale)
+		o.MemoryBytes = mem.Bytes(float64(96<<30) * o.Scale)
 	}
 	if o.Seed == 0 {
 		o.Seed = 1

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"hawkeye/internal/mem"
 	"hawkeye/internal/sim"
 )
 
@@ -80,7 +81,7 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.Scale <= 0 || o.MemoryBytes <= 0 || o.Seed == 0 {
 		t.Fatalf("bad defaults: %+v", o)
 	}
-	if got := o.MemoryBytes; got != int64(float64(96<<30)*o.Scale) {
+	if got := o.MemoryBytes; got != mem.Bytes(float64(96<<30)*o.Scale) {
 		t.Fatalf("memory default %d not scaled from 96 GB", got)
 	}
 	if o.work(100) != 100 {

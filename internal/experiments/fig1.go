@@ -20,7 +20,7 @@ func init() { register("fig1", Fig1) }
 // sparse regions with zero-filled huge pages and hit OOM during P3;
 // HawkEye's watermark-triggered dedup recovers the bloat and survives.
 func Fig1(o Options) (*Table, error) {
-	machBytes := int64(float64(48<<30) * o.Scale)
+	machBytes := mem.Bytes(float64(48<<30) * o.Scale)
 	p1Pages := int64(float64(45<<30) * o.Scale / mem.PageSize)
 	p3Keys := int64(float64(36<<30) * o.Scale / mem.HugeSize)
 	pageCost := sim.Time(100)
@@ -49,7 +49,7 @@ func Fig1(o Options) (*Table, error) {
 		rss     *sim.Series
 		oomAt   sim.Time
 		oom     bool
-		useful  int64 // bytes of live values at the end
+		useful  mem.Bytes // bytes of live values at the end
 		deduped int64
 	}
 	var outs []outcome
@@ -78,7 +78,7 @@ func Fig1(o Options) (*Table, error) {
 			rss:    k.Rec.Series("rss"),
 			oom:    p.OOMKilled,
 			oomAt:  p.FinishedAt,
-			useful: kv.LivePages() * mem.PageSize,
+			useful: kv.LivePages().Bytes(),
 		}
 		if he, ok := pol.(*core.HawkEye); ok {
 			out.deduped = he.DedupedPages
@@ -92,8 +92,8 @@ func Fig1(o Options) (*Table, error) {
 		Header: []string{"policy", "peak-RSS", "final-RSS", "useful-data", "bloat", "outcome", "deduped-pages"},
 	}
 	for _, out := range outs {
-		peak := int64(out.rss.Max())
-		final := int64(out.rss.Last())
+		peak := mem.Bytes(out.rss.Max())
+		final := mem.Bytes(out.rss.Last())
 		status := "completed"
 		if out.oom {
 			status = fmt.Sprintf("OOM at %v", out.oomAt)
@@ -110,4 +110,4 @@ func Fig1(o Options) (*Table, error) {
 }
 
 // gb renders bytes as gigabytes.
-func gb(bytes int64) string { return fmt.Sprintf("%.2fGB", float64(bytes)/float64(1<<30)) }
+func gb(bytes mem.Bytes) string { return fmt.Sprintf("%.2fGB", float64(bytes)/float64(1<<30)) }

@@ -107,14 +107,14 @@ func fig10Run(o Options, spec workload.Spec, zeroRate int64, slowdown float64) (
 
 // churnProgram repeatedly touches and frees a buffer, dirtying free memory.
 type churnProgram struct {
-	pages int64
-	next  int64
+	pages mem.Pages
+	next  mem.Pages
 }
 
 func (c *churnProgram) Step(k *kernel.Kernel, p *kernel.Proc) (sim.Time, bool, error) {
 	var consumed sim.Time
-	for i := int64(0); i < 4096 && consumed < k.Cfg.Quantum/2; i++ {
-		cost, err := k.Touch(p, vmm.VPN(c.next%c.pages), true)
+	for i := mem.Pages(0); i < 4096 && consumed < k.Cfg.Quantum/2; i++ {
+		cost, err := k.Touch(p, vmm.VPN(0).Advance(c.next%c.pages), true)
 		if err != nil {
 			return consumed, false, err
 		}

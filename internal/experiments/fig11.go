@@ -5,6 +5,7 @@ import (
 
 	"hawkeye/internal/core"
 	"hawkeye/internal/kernel"
+	"hawkeye/internal/mem"
 	"hawkeye/internal/policy"
 	"hawkeye/internal/sim"
 	"hawkeye/internal/virt"
@@ -39,7 +40,7 @@ func Fig11(o Options) (*Table, error) {
 	type vmResult struct {
 		redis, mongo float64 // serve efficiency (throughput proxy)
 		pagerank, cg sim.Time
-		swapped      int64
+		swapped      mem.Pages
 	}
 	results := map[string]vmResult{}
 	for _, m := range modes {
@@ -80,12 +81,12 @@ func safeDiv(a, b float64) float64 {
 func runFig11(o Options, mode virt.SharingMode, guestPol func() kernel.Policy) (struct {
 	redis, mongo float64
 	pagerank, cg sim.Time
-	swapped      int64
+	swapped      mem.Pages
 }, error) {
 	var out struct {
 		redis, mongo float64
 		pagerank, cg sim.Time
-		swapped      int64
+		swapped      mem.Pages
 	}
 	hcfg := kernel.DefaultConfig()
 	hcfg.MemoryBytes = o.MemoryBytes
@@ -99,7 +100,7 @@ func runFig11(o Options, mode virt.SharingMode, guestPol func() kernel.Policy) (
 		vms[i] = h.AddVM(name, vmBytes, guestPol())
 	}
 
-	kvPages := vmBytes / 4096 * 85 / 100 // each store peaks near its VM size
+	kvPages := int64(vmBytes.Pages()) * 85 / 100 // each store peaks near its VM size
 	serveWork := o.work(20)
 	mkKV := func() *workload.KVStore {
 		return &workload.KVStore{

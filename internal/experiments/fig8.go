@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hawkeye/internal/kernel"
+	"hawkeye/internal/mem"
 	"hawkeye/internal/sim"
 	"hawkeye/internal/workload"
 )
@@ -32,7 +33,7 @@ func Fig8(o Options) (*Table, error) {
 		type row struct {
 			policy             string
 			speed              map[bool]string
-			redisHuge, appHuge int64
+			redisHuge, appHuge mem.Regions
 		}
 		var rows []row
 		for _, pc := range recoveryPolicies(o) {
@@ -62,7 +63,7 @@ func Fig8(o Options) (*Table, error) {
 
 // runHeterogeneous runs one (sensitive app, redis-light) pair and returns
 // the app's runtime and both processes' huge mappings.
-func runHeterogeneous(o Options, pol kernel.Policy, spec workload.Spec, appFirst bool) (sim.Time, int64, int64, error) {
+func runHeterogeneous(o Options, pol kernel.Policy, spec workload.Spec, appFirst bool) (sim.Time, mem.Regions, mem.Regions, error) {
 	k := newKernel(o, pol)
 	k.FragmentMemory(fragKeep)
 	redisSpec := workload.Lookup("redis-light")

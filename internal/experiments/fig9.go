@@ -5,6 +5,7 @@ import (
 
 	"hawkeye/internal/core"
 	"hawkeye/internal/kernel"
+	"hawkeye/internal/mem"
 	"hawkeye/internal/policy"
 	"hawkeye/internal/sim"
 	"hawkeye/internal/virt"
@@ -74,7 +75,7 @@ func quickLinux(o Options) kernel.Policy {
 }
 
 // runFig9 boots one VM holding both workloads on a fragmented host.
-func runFig9(o Options, spec workload.Spec, hostPol, guestPol kernel.Policy) (sim.Time, float64, int64, error) {
+func runFig9(o Options, spec workload.Spec, hostPol, guestPol kernel.Policy) (sim.Time, float64, mem.Regions, error) {
 	hcfg := kernel.DefaultConfig()
 	hcfg.MemoryBytes = o.MemoryBytes
 	hcfg.Seed = o.Seed

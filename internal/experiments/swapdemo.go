@@ -5,6 +5,7 @@ import (
 
 	"hawkeye/internal/core"
 	"hawkeye/internal/kernel"
+	"hawkeye/internal/mem"
 	"hawkeye/internal/policy"
 	"hawkeye/internal/sim"
 	"hawkeye/internal/vmm"
@@ -35,7 +36,7 @@ func SwapDemo(o Options) (*Table, error) {
 		Title:  fmt.Sprintf("1.6x-of-RAM walk with SSD swap (machine %.1f GB + equal swap)", float64(memBytes)/float64(1<<30)),
 		Header: []string{"policy", "runtime", "minor-faults", "major-faults", "swap-outs", "p99-fault(µs)"},
 	}
-	pages := memBytes / 4096 * 16 / 10
+	pages := memBytes.Pages() * 16 / 10
 	for _, c := range configs {
 		kcfg := kernel.DefaultConfig()
 		kcfg.MemoryBytes = memBytes
@@ -64,16 +65,16 @@ func SwapDemo(o Options) (*Table, error) {
 
 // swapWalker touches its range sequentially for several passes.
 type swapWalker struct {
-	pages  int64
+	pages  mem.Pages
 	passes int
-	pos    int64
+	pos    mem.Pages
 }
 
 func (w *swapWalker) Step(k *kernel.Kernel, p *kernel.Proc) (sim.Time, bool, error) {
-	total := w.pages * int64(w.passes)
+	total := w.pages * mem.Pages(w.passes)
 	var consumed sim.Time
 	for consumed < k.Cfg.Quantum && w.pos < total {
-		c, err := k.Touch(p, vmm.VPN(w.pos%w.pages), true)
+		c, err := k.Touch(p, vmm.VPN(0).Advance(w.pos%w.pages), true)
 		if err != nil {
 			return consumed, false, err
 		}

@@ -21,7 +21,7 @@ func init() { register("table1", Table1) }
 // approximates in the common case).
 func Table1(o Options) (*Table, error) {
 	const repeats = 10
-	bufBytes := int64(10) << 30 // 10 GB buffer at paper scale
+	bufBytes := mem.Bytes(10) << 30 // 10 GB buffer at paper scale
 
 	type config struct {
 		label  string

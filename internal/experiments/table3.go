@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hawkeye/internal/kernel"
+	"hawkeye/internal/mem"
 	"hawkeye/internal/policy"
 	"hawkeye/internal/workload"
 )
@@ -35,7 +36,7 @@ func Table3(o Options) (*Table, error) {
 			runtime  float64
 			overhead float64
 			missRate float64
-			rssBytes int64
+			rssBytes mem.Bytes
 		}
 		run := func(pol kernel.Policy, nested bool) (res, error) {
 			k := newKernel(o, pol)
@@ -89,12 +90,12 @@ func Table3(o Options) (*Table, error) {
 }
 
 // wssBytes derives the working-set size from the access pattern.
-func wssBytes(spec workload.Spec, scale float64) int64 {
-	foot := int64(float64(spec.Footprint) * scale)
+func wssBytes(spec workload.Spec, scale float64) mem.Bytes {
+	foot := mem.Bytes(float64(spec.Footprint) * scale)
 	switch spec.Kind {
 	case workload.Hotspot:
 		// Hot span plus the sampled cold tail.
-		return int64(float64(foot) * (spec.HotFrac + 0.3*(1-spec.HotFrac)))
+		return mem.Bytes(float64(foot) * (spec.HotFrac + 0.3*(1-spec.HotFrac)))
 	case workload.Sequential:
 		// The scan touches everything over time; the instantaneous set is
 		// the whole buffer for these kernels (they sweep repeatedly).
@@ -175,7 +176,7 @@ func memberSpec(suite string, i int, tlbBound bool) workload.Spec {
 	if tlbBound {
 		return workload.Spec{
 			Name:            fmt.Sprintf("%s-hot-%d", suite, i),
-			Footprint:       int64(6+2*i) * workload.GB,
+			Footprint:       mem.Bytes(6+2*i) * workload.GB,
 			Kind:            workload.Uniform,
 			Locality:        0.9,
 			CyclesPerAccess: 300 + 40*float64(i),
@@ -184,7 +185,7 @@ func memberSpec(suite string, i int, tlbBound bool) workload.Spec {
 	}
 	return workload.Spec{
 		Name:            fmt.Sprintf("%s-cold-%d", suite, i),
-		Footprint:       int64(1+i%4) * workload.GB,
+		Footprint:       mem.Bytes(1+i%4) * workload.GB,
 		Kind:            workload.Sequential,
 		AccessesPerPage: 8,
 		Locality:        0.05,

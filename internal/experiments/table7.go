@@ -115,14 +115,14 @@ func Table7(o Options) (*Table, error) {
 
 // hogProgram touches pages once and then idles, holding the memory.
 type hogProgram struct {
-	pages int64
-	next  int64
+	pages mem.Pages
+	next  mem.Pages
 }
 
 func (h *hogProgram) Step(k *kernel.Kernel, p *kernel.Proc) (sim.Time, bool, error) {
 	var consumed sim.Time
 	for h.next < h.pages && consumed < k.Cfg.Quantum {
-		c, err := k.Touch(p, vmm.VPN(h.next), true)
+		c, err := k.Touch(p, vmm.VPN(0).Advance(h.next), true)
 		if err != nil {
 			// The hog absorbs allocation failure rather than dying: it only
 			// exists to create pressure.

@@ -5,6 +5,7 @@ import (
 
 	"hawkeye/internal/core"
 	"hawkeye/internal/kernel"
+	"hawkeye/internal/mem"
 	"hawkeye/internal/sim"
 	"hawkeye/internal/workload"
 )
@@ -49,7 +50,7 @@ func Table8(o Options) (*Table, error) {
 	}
 	workloads := []wl{
 		{"redis-insert (45GB)", func() *workload.Instance {
-			return redisInsert(int64(float64(45<<30)*o.Scale), o)
+			return redisInsert(mem.Bytes(float64(45<<30)*o.Scale), o)
 		}, false, true},
 		{"sparsehash (36GB)", func() *workload.Instance {
 			return workload.SparseHash(36<<30, o.Scale)
@@ -107,11 +108,11 @@ func Table8(o Options) (*Table, error) {
 
 // redisInsert builds an insert-only KVStore with 2 MB values (the Table 8
 // Redis configuration), reporting throughput via its page count.
-func redisInsert(bytes int64, o Options) *workload.Instance {
-	pages := bytes / 4096
+func redisInsert(bytes mem.Bytes, o Options) *workload.Instance {
+	pages := bytes.Pages()
 	kv := &workload.KVStore{
 		Ops: []workload.KVOp{
-			workload.KVInsert{Keys: pages / 512, ValuePages: 512, PageCost: 1},
+			workload.KVInsert{Keys: int64(pages.Regions()), ValuePages: mem.HugePages, PageCost: 1},
 		},
 	}
 	return &workload.Instance{

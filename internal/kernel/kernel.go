@@ -22,7 +22,7 @@ const CyclesPerMicro = 2300.0
 
 // Config describes one simulated machine.
 type Config struct {
-	MemoryBytes int64      // DRAM size
+	MemoryBytes mem.Bytes  // DRAM size
 	TLB         tlb.Config // translation hardware
 	Fault       fault.Model
 	Quantum     sim.Time // default scheduling quantum for programs
@@ -37,7 +37,7 @@ type Config struct {
 	// SwapBytes sizes the SSD-backed swap partition (0 = no swap). With
 	// swap, anonymous-allocation failures page out cold base pages instead
 	// of OOM-killing, and touching a swapped page costs a major fault.
-	SwapBytes int64
+	SwapBytes mem.Bytes
 }
 
 // DefaultConfig returns an 8 GB machine (the paper's 96 GB host at 1/12
@@ -177,8 +177,8 @@ func New(cfg Config, pol Policy) *Kernel {
 		eng = sim.NewEngine(cfg.Seed)
 	}
 	alloc := mem.NewAllocator(cfg.MemoryBytes)
-	swapSlots := cfg.SwapBytes / mem.PageSize
-	store := content.NewStore(alloc.TotalPages()+swapSlots, eng.Rand.Fork())
+	swapSlots := cfg.SwapBytes.Pages()
+	store := content.NewStore(int64(alloc.TotalPages()+swapSlots), eng.Rand.Fork())
 	k := &Kernel{
 		Cfg:            cfg,
 		Engine:         eng,
@@ -374,7 +374,7 @@ func (k *Kernel) FragmentMemoryPinned(keep, pinnedChunkFrac float64) {
 	}
 	// Decide which chunks get a kernel pin, deterministically from the seed.
 	rng := k.Engine.Rand.Fork()
-	totalChunks := k.Alloc.TotalPages() >> mem.HugeOrder
+	totalChunks := int64(k.Alloc.TotalPages().Regions())
 	pinned := make(map[int64]bool, totalChunks)
 	for c := int64(0); c < totalChunks; c++ {
 		if rng.Float64() < pinnedChunkFrac {

@@ -17,7 +17,7 @@ func (tp *testPolicy) OnFault(k *Kernel, p *Proc, r *vmm.Region, vpn vmm.VPN) De
 	return tp.decision
 }
 
-func newTestKernel(t testing.TB, mb int64, d Decision) *Kernel {
+func newTestKernel(t testing.TB, mb mem.Bytes, d Decision) *Kernel {
 	t.Helper()
 	cfg := DefaultConfig()
 	cfg.MemoryBytes = mb << 20

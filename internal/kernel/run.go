@@ -51,7 +51,7 @@ func (k *Kernel) SteadyRun(p *Proc, dur sim.Time, s AccessSampler) (SteadyResult
 	}
 	prof := s.Profile()
 	pid := int32(p.VP.PID)
-	var walkTotal float64
+	var walkTotal sim.Cycles
 	var faultCost sim.Time
 	for i := 0; i < samples; i++ {
 		vpn, write := s.Sample(p.rng)
@@ -72,20 +72,20 @@ func (k *Kernel) SteadyRun(p *Proc, dur sim.Time, s AccessSampler) (SteadyResult
 		switch k.TLB.Access(pid, page, huge) {
 		case tlb.HitL1:
 		case tlb.HitL2:
-			walkTotal += float64(k.Cfg.TLB.L2HitCycles)
+			walkTotal += sim.Cycles(k.Cfg.TLB.L2HitCycles)
 		case tlb.Miss:
 			w := k.TLB.WalkCycles(prof.Locality, huge, p.Nested)
 			if p.Nested && p.NestedDiscount > 0 {
-				w *= p.NestedDiscount
+				w = w.Scale(p.NestedDiscount)
 			}
 			walkTotal += w
 		}
 	}
-	avgWalk := walkTotal / float64(samples)
+	avgWalk := float64(walkTotal) / float64(samples)
 	overhead := avgWalk / (prof.CyclesPerAccess + avgWalk)
 
-	totalCycles := float64(dur) * CyclesPerMicro
-	p.PMU.Add(overhead*totalCycles, totalCycles)
+	totalCycles := sim.CyclesIn(dur, CyclesPerMicro)
+	p.PMU.Add(totalCycles.Scale(overhead), totalCycles)
 
 	slow := k.SlowdownFactor
 	if slow < 1 {
@@ -110,7 +110,7 @@ func (k *Kernel) EstimateMMUOverhead(p *Proc, s AccessSampler, samples int) floa
 	}
 	prof := s.Profile()
 	pid := int32(p.VP.PID)
-	var walkTotal float64
+	var walkTotal sim.Cycles
 	counted := 0
 	for i := 0; i < samples; i++ {
 		vpn, _ := s.Sample(p.rng)
@@ -126,11 +126,11 @@ func (k *Kernel) EstimateMMUOverhead(p *Proc, s AccessSampler, samples int) floa
 		switch k.TLB.Access(pid, page, huge) {
 		case tlb.HitL1:
 		case tlb.HitL2:
-			walkTotal += float64(k.Cfg.TLB.L2HitCycles)
+			walkTotal += sim.Cycles(k.Cfg.TLB.L2HitCycles)
 		case tlb.Miss:
 			w := k.TLB.WalkCycles(prof.Locality, huge, p.Nested)
 			if p.Nested && p.NestedDiscount > 0 {
-				w *= p.NestedDiscount
+				w = w.Scale(p.NestedDiscount)
 			}
 			walkTotal += w
 		}
@@ -138,6 +138,6 @@ func (k *Kernel) EstimateMMUOverhead(p *Proc, s AccessSampler, samples int) floa
 	if counted == 0 {
 		return 0
 	}
-	avgWalk := walkTotal / float64(counted)
+	avgWalk := float64(walkTotal) / float64(counted)
 	return avgWalk / (prof.CyclesPerAccess + avgWalk)
 }

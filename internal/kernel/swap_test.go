@@ -8,7 +8,7 @@ import (
 	"hawkeye/internal/vmm"
 )
 
-func newSwapKernel(t testing.TB, memMB, swapMB int64, d Decision) *Kernel {
+func newSwapKernel(t testing.TB, memMB, swapMB mem.Bytes, d Decision) *Kernel {
 	t.Helper()
 	cfg := DefaultConfig()
 	cfg.MemoryBytes = memMB << 20

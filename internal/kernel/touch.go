@@ -251,7 +251,7 @@ func (k *Kernel) zeroBlock(head mem.FrameID, order int, alreadyZero bool) {
 }
 
 // Madvise releases a range of pages (MADV_DONTNEED) and returns its cost.
-func (k *Kernel) Madvise(p *Proc, start vmm.VPN, pages int64) sim.Time {
+func (k *Kernel) Madvise(p *Proc, start vmm.VPN, pages mem.Pages) sim.Time {
 	released := k.VMM.DontNeed(p.VP, start, pages)
 	k.TLB.InvalidateProcess(int32(p.VP.PID))
 	// ~0.15 µs per released page (zap + free) plus a shootdown.

@@ -30,7 +30,7 @@ type Block struct {
 }
 
 // Pages reports the number of base pages in the block.
-func (b Block) Pages() int64 { return 1 << b.Order }
+func (b Block) Pages() Pages { return 1 << b.Order }
 
 // Mover relocates the contents and mappings of a single allocated frame, in
 // support of memory compaction. Implemented by the virtual-memory layer.
@@ -50,17 +50,17 @@ type Allocator struct {
 	heads  [MaxOrder + 1][2]FrameID
 	counts [MaxOrder + 1][2]int64 // free blocks per order per class
 
-	totalPages    int64
-	freePages     int64
-	zeroFreePages int64
-	peakAllocated int64
-	tagPages      [5]int64 // allocated pages per Tag (TagFree unused)
+	totalPages    Pages
+	freePages     Pages
+	zeroFreePages Pages
+	peakAllocated Pages
+	tagPages      [5]Pages // allocated pages per Tag (TagFree unused)
 
 	fileLIFO []FrameID // reclaimable page-cache frames, LIFO
 	mover    Mover
 
 	// Stats.
-	ReclaimedPages  int64 // file pages dropped under pressure
+	ReclaimedPages  Pages // file pages dropped under pressure
 	CompactedBlocks int64 // huge-page-sized blocks rebuilt by compaction
 	MovedFrames     int64 // frames migrated by compaction
 	FailedMoves     int64
@@ -73,12 +73,13 @@ const (
 
 // NewAllocator creates an allocator managing totalBytes of simulated DRAM.
 // totalBytes is rounded down to a multiple of the largest buddy block.
-func NewAllocator(totalBytes int64) *Allocator {
-	blockBytes := int64(PageSize << MaxOrder)
+func NewAllocator(totalBytes Bytes) *Allocator {
+	blockBytes := Bytes(PageSize << MaxOrder)
 	if totalBytes < blockBytes {
 		totalBytes = blockBytes
 	}
-	pages := (totalBytes / blockBytes) * (1 << MaxOrder)
+	//lint:allow unitsafety whole-block rounding: geometry confined to this line
+	pages := Pages(totalBytes/blockBytes) * (1 << MaxOrder)
 	a := &Allocator{
 		frames:     make([]frame, pages),
 		next:       make([]FrameID, pages),
@@ -105,20 +106,20 @@ func NewAllocator(totalBytes int64) *Allocator {
 func (a *Allocator) SetMover(m Mover) { a.mover = m }
 
 // TotalPages reports the number of managed base-page frames.
-func (a *Allocator) TotalPages() int64 { return a.totalPages }
+func (a *Allocator) TotalPages() Pages { return a.totalPages }
 
 // FreePages reports currently free base pages.
-func (a *Allocator) FreePages() int64 { return a.freePages }
+func (a *Allocator) FreePages() Pages { return a.freePages }
 
 // ZeroFreePages reports free base pages whose contents are all-zero.
-func (a *Allocator) ZeroFreePages() int64 { return a.zeroFreePages }
+func (a *Allocator) ZeroFreePages() Pages { return a.zeroFreePages }
 
 // AllocatedPages reports totalPages - freePages.
-func (a *Allocator) AllocatedPages() int64 { return a.totalPages - a.freePages }
+func (a *Allocator) AllocatedPages() Pages { return a.totalPages - a.freePages }
 
 // PeakAllocated reports the high-water mark of allocated pages — what a
 // hypervisor that cannot observe guest frees would have to keep resident.
-func (a *Allocator) PeakAllocated() int64 { return a.peakAllocated }
+func (a *Allocator) PeakAllocated() Pages { return a.peakAllocated }
 
 // UsedFraction reports allocated/total, in [0,1].
 func (a *Allocator) UsedFraction() float64 {
@@ -126,7 +127,7 @@ func (a *Allocator) UsedFraction() float64 {
 }
 
 // TagPages reports allocated pages carrying the given tag.
-func (a *Allocator) TagPages(t Tag) int64 { return a.tagPages[t] }
+func (a *Allocator) TagPages(t Tag) Pages { return a.tagPages[t] }
 
 // FreeBlocks reports the number of free blocks at exactly the given order.
 func (a *Allocator) FreeBlocks(order int) int64 {
@@ -291,11 +292,11 @@ func (a *Allocator) commitAlloc(head FrameID, order int, tag Tag) {
 			a.zeroFreePages--
 		}
 	}
-	a.freePages -= int64(n)
+	a.freePages -= Pages(n)
 	if alloc := a.totalPages - a.freePages; alloc > a.peakAllocated {
 		a.peakAllocated = alloc
 	}
-	a.tagPages[tag] += int64(n)
+	a.tagPages[tag] += Pages(n)
 	if tag == TagFile {
 		for i := FrameID(0); i < n; i++ {
 			a.fileLIFO = append(a.fileLIFO, head+i)
@@ -335,8 +336,8 @@ func (a *Allocator) Free(head FrameID, order int, dirty bool) {
 		}
 		f.tag = TagFree
 	}
-	a.tagPages[tag] -= int64(n)
-	a.freePages += int64(n)
+	a.tagPages[tag] -= Pages(n)
+	a.freePages += Pages(n)
 	a.coalesce(head, order)
 }
 
@@ -372,7 +373,7 @@ func (a *Allocator) reclaimFile(n int) int {
 		a.Free(id, 0, true)
 		dropped++
 	}
-	a.ReclaimedPages += int64(dropped)
+	a.ReclaimedPages += Pages(dropped)
 	return dropped
 }
 
@@ -389,7 +390,7 @@ func (a *Allocator) RetagFrame(id FrameID, tag Tag) {
 }
 
 // FileCachePages reports live reclaimable page-cache frames.
-func (a *Allocator) FileCachePages() int64 { return a.tagPages[TagFile] }
+func (a *Allocator) FileCachePages() Pages { return a.tagPages[TagFile] }
 
 // FrameTag reports the tag of a frame (for tests and the VMM).
 func (a *Allocator) FrameTag(id FrameID) Tag { return a.frames[id].tag }
@@ -410,7 +411,7 @@ func (a *Allocator) MarkZeroed(id FrameID) { a.frames[id].zeroed = true }
 // description of the first violation, or "" if consistent. Intended for
 // tests and debugging; cost is O(frames).
 func (a *Allocator) CheckConsistency() string {
-	var listed int64
+	var listed Pages
 	for o := 0; o <= MaxOrder; o++ {
 		for cls := 0; cls < 2; cls++ {
 			count := int64(0)
@@ -422,7 +423,7 @@ func (a *Allocator) CheckConsistency() string {
 				if head%(FrameID(1)<<o) != 0 {
 					return fmt.Sprintf("unaligned block %d at order %d", head, o)
 				}
-				listed += int64(1) << o
+				listed += Pages(1) << o
 				count++
 			}
 			if count != a.counts[o][cls] {
@@ -433,7 +434,7 @@ func (a *Allocator) CheckConsistency() string {
 	if listed != a.freePages {
 		return fmt.Sprintf("free-list pages %d != freePages %d (leak of %d)", listed, a.freePages, a.freePages-listed)
 	}
-	var zeroFree, free int64
+	var zeroFree, free Pages
 	for i := range a.frames {
 		if a.frames[i].tag == TagFree {
 			free++

@@ -8,7 +8,7 @@ import (
 	"hawkeye/internal/sim"
 )
 
-func newTestAllocator(mb int64) *Allocator {
+func newTestAllocator(mb Bytes) *Allocator {
 	return NewAllocator(mb << 20)
 }
 
@@ -385,7 +385,7 @@ func TestPropertyFreeOrderIndependence(t *testing.T) {
 			a.Free(blk.Head, blk.Order, true)
 		}
 		return a.FreePages() == a.TotalPages() &&
-			a.FreeBlocksAtLeast(MaxOrder) == a.TotalPages()>>MaxOrder
+			Pages(a.FreeBlocksAtLeast(MaxOrder)) == a.TotalPages()>>MaxOrder
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
@@ -393,14 +393,20 @@ func TestPropertyFreeOrderIndependence(t *testing.T) {
 }
 
 func TestBytesHelpers(t *testing.T) {
-	if Bytes(2) != 8192 {
-		t.Fatal("Bytes wrong")
+	if Pages(2).Bytes() != 8192 {
+		t.Fatal("Pages.Bytes wrong")
 	}
-	if PagesOf(1) != 1 || PagesOf(PageSize) != 1 || PagesOf(PageSize+1) != 2 {
-		t.Fatal("PagesOf wrong")
+	if Bytes(1).Pages() != 1 || Bytes(PageSize).Pages() != 1 || Bytes(PageSize+1).Pages() != 2 {
+		t.Fatal("Bytes.Pages wrong")
 	}
 	if (Block{Order: HugeOrder}).Pages() != HugePages {
 		t.Fatal("Block.Pages wrong")
+	}
+	if Regions(3).Pages() != 3*HugePages || Regions(3).Bytes() != 3*HugeSize {
+		t.Fatal("Regions helpers wrong")
+	}
+	if Pages(HugePages + 1).Regions() != 1 || Bytes(HugeSize + 1).Regions() != 2 {
+		t.Fatal("Regions rounding wrong")
 	}
 }
 

@@ -54,10 +54,10 @@ func (a *Allocator) ContiguityFraction(order int) float64 {
 
 // HugePageCapacity reports how many order-HugeOrder allocations the free
 // lists could satisfy right now (larger blocks count multiple times).
-func (a *Allocator) HugePageCapacity() int64 {
-	var n int64
+func (a *Allocator) HugePageCapacity() Regions {
+	var n Regions
 	for o := HugeOrder; o <= MaxOrder; o++ {
-		n += a.FreeBlocks(o) << (o - HugeOrder)
+		n += Regions(a.FreeBlocks(o)) << (o - HugeOrder)
 	}
 	return n
 }

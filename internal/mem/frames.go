@@ -71,8 +71,52 @@ type frame struct {
 	freeClass uint8 // when head of a free block: which split list it is on
 }
 
-// Bytes converts a page count to bytes.
-func Bytes(pages int64) int64 { return pages * PageSize }
+// The quantity types below keep the simulator's unit conversions honest:
+// page counts, region counts and byte sizes are distinct defined types, and
+// the only place the 4 KB / 2 MB geometry may appear is in the named helper
+// methods here (enforced by the unitsafety analyzer in cmd/hawkeye-lint).
 
-// PagesOf converts a byte size (rounded up) to base pages.
-func PagesOf(bytes int64) int64 { return (bytes + PageSize - 1) / PageSize }
+// Pages counts 4 KB base pages.
+type Pages int64
+
+// Regions counts 2 MB huge-page regions (512 base pages).
+type Regions int64
+
+// Bytes is a memory size in bytes.
+type Bytes int64
+
+// PagesPerRegion is the base-page span of one huge region, as a page count.
+const PagesPerRegion Pages = HugePages
+
+// RegionBytes is the byte size of one huge region.
+const RegionBytes Bytes = HugeSize
+
+// Bytes converts a page count to a byte size.
+//
+//lint:allow unitsafety canonical geometry helper: pages -> bytes lives here
+func (p Pages) Bytes() Bytes { return Bytes(p) * PageSize }
+
+// Regions converts a page count to whole regions (rounding down).
+//
+//lint:allow unitsafety canonical geometry helper: pages -> regions lives here
+func (p Pages) Regions() Regions { return Regions(p >> HugeOrder) }
+
+// Pages converts a byte size (rounded up) to base pages.
+//
+//lint:allow unitsafety canonical geometry helper: bytes -> pages lives here
+func (b Bytes) Pages() Pages { return Pages((b + PageSize - 1) / PageSize) }
+
+// Regions converts a byte size (rounded up) to huge regions.
+//
+//lint:allow unitsafety canonical geometry helper: bytes -> regions lives here
+func (b Bytes) Regions() Regions { return Regions((b + RegionBytes - 1) / RegionBytes) }
+
+// Pages converts a region count to base pages.
+//
+//lint:allow unitsafety canonical geometry helper: regions -> pages lives here
+func (r Regions) Pages() Pages { return Pages(r) << HugeOrder }
+
+// Bytes converts a region count to a byte size.
+//
+//lint:allow unitsafety canonical geometry helper: regions -> bytes lives here
+func (r Regions) Bytes() Bytes { return Bytes(r) * HugeSize }

@@ -82,4 +82,4 @@ func (a *Allocator) InsertNonZeroBlock(head FrameID, order int) {
 
 // NonZeroFreePages reports free pages whose contents are not known zero —
 // the pre-zero thread's backlog.
-func (a *Allocator) NonZeroFreePages() int64 { return a.freePages - a.zeroFreePages }
+func (a *Allocator) NonZeroFreePages() Pages { return a.freePages - a.zeroFreePages }

@@ -174,7 +174,7 @@ func setupTLBAccess() func() {
 // performs on every region every epoch.
 func setupAccessScan() func() {
 	alloc := mem.NewAllocator(64 << 20)
-	store := content.NewStore(alloc.TotalPages(), sim.NewRand(7))
+	store := content.NewStore(int64(alloc.TotalPages()), sim.NewRand(7))
 	v := vmm.New(alloc, store)
 	p := v.NewProcess("bench")
 	r := p.EnsureRegion(0)

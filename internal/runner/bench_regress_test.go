@@ -87,6 +87,9 @@ func TestBenchRegression(t *testing.T) {
 // updateBaseline re-measures every tier-0 benchmark and rewrites the
 // artifact.
 func updateBaseline(t *testing.T) {
+	if raceEnabled {
+		t.Fatal("refusing to update BENCH_baseline.json under -race: race instrumentation inflates every measurement, which would poison the baseline for uninstrumented runs — rerun without -race")
+	}
 	b := &Baseline{
 		Schema:        BaselineSchema,
 		Note:          "Tier-0 hot-path baseline. Refresh after intentional perf changes: BENCH_REGRESS=update go test ./internal/runner -run TestBenchRegression",

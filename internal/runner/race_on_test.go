@@ -1,0 +1,9 @@
+//go:build race
+
+package runner
+
+// raceEnabled reports that this binary was built with -race. Race
+// instrumentation slows the tier-0 bodies by an order of magnitude, so a
+// baseline captured under it would make every uninstrumented run look
+// impossibly fast — and the next regression invisible.
+const raceEnabled = true

@@ -1,0 +1,29 @@
+package sim
+
+// Cycles counts CPU clock cycles in the execution model: page-walk costs,
+// PMU counters (DTLB_*_WALK_DURATION, CPU_CLK_UNHALTED) and the quantum
+// budgets derived from them. It is float64-based because walk costs are
+// modelled fractionally (locality interpolation, nested-paging multipliers).
+// Keeping cycles a defined type stops them from mixing silently with
+// microseconds (Time) or plain ratios — the unitsafety analyzer enforces
+// conversions through the helpers below.
+type Cycles float64
+
+// Over reports the ratio c/total in [0,1] — the PMU overhead formula
+// (C1+C2)/C3 of Table 4. Zero total reports zero.
+func (c Cycles) Over(total Cycles) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(c / total)
+}
+
+// CyclesIn converts a simulated duration to cycles at a clock rate given in
+// cycles per microsecond.
+func CyclesIn(d Time, cyclesPerMicro float64) Cycles {
+	return Cycles(float64(d) * cyclesPerMicro)
+}
+
+// Scale multiplies the cycle count by a dimensionless factor (discounts,
+// nested-paging multipliers).
+func (c Cycles) Scale(f float64) Cycles { return Cycles(float64(c) * f) }

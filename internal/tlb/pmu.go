@@ -1,5 +1,7 @@
 package tlb
 
+import "hawkeye/internal/sim"
+
 // PMU models the per-core hardware counters of Table 4:
 //
 //	C1 DTLB_LOAD_MISSES_WALK_DURATION
@@ -12,29 +14,26 @@ package tlb
 // cumulative view and a recent window (what a sampling daemon would see)
 // are exposed.
 type PMU struct {
-	WalkCycles  float64 // C1+C2, cumulative
-	TotalCycles float64 // C3, cumulative
+	WalkCycles  sim.Cycles // C1+C2, cumulative
+	TotalCycles sim.Cycles // C3, cumulative
 
 	// Recent-window snapshot, maintained by EndWindow.
-	winWalk   float64
-	winTotal  float64
-	lastWalk  float64
-	lastTotal float64
+	winWalk   sim.Cycles
+	winTotal  sim.Cycles
+	lastWalk  sim.Cycles
+	lastTotal sim.Cycles
 	hasWindow bool
 }
 
 // Add charges cycles to the counters.
-func (p *PMU) Add(walkCycles, totalCycles float64) {
+func (p *PMU) Add(walkCycles, totalCycles sim.Cycles) {
 	p.WalkCycles += walkCycles
 	p.TotalCycles += totalCycles
 }
 
 // Overhead reports the cumulative MMU overhead in [0,1].
 func (p *PMU) Overhead() float64 {
-	if p.TotalCycles == 0 {
-		return 0
-	}
-	return p.WalkCycles / p.TotalCycles
+	return p.WalkCycles.Over(p.TotalCycles)
 }
 
 // EndWindow closes the current sampling window; RecentOverhead then reports
@@ -54,5 +53,5 @@ func (p *PMU) RecentOverhead() float64 {
 	if !p.hasWindow || p.winTotal == 0 {
 		return p.Overhead()
 	}
-	return p.winWalk / p.winTotal
+	return p.winWalk.Over(p.winTotal)
 }

@@ -7,7 +7,10 @@
 // computed as walk cycles over total cycles.
 package tlb
 
-import "hawkeye/internal/mem"
+import (
+	"hawkeye/internal/mem"
+	"hawkeye/internal/sim"
+)
 
 // Config describes the simulated TLB hierarchy and walk-cost model.
 type Config struct {
@@ -250,19 +253,19 @@ func (t *TLB) InvalidateRegion(pid int32, region int64) {
 type Locality float64
 
 // WalkCycles returns the modelled cost in cycles of one page walk.
-func (t *TLB) WalkCycles(loc Locality, huge, nested bool) float64 {
+func (t *TLB) WalkCycles(loc Locality, huge, nested bool) sim.Cycles {
 	if loc < 0 {
 		loc = 0
 	}
 	if loc > 1 {
 		loc = 1
 	}
-	c := float64(t.cfg.WalkCyclesMin) + float64(loc)*float64(t.cfg.WalkCyclesMax-t.cfg.WalkCyclesMin)
+	c := sim.Cycles(float64(t.cfg.WalkCyclesMin) + float64(loc)*float64(t.cfg.WalkCyclesMax-t.cfg.WalkCyclesMin))
 	if huge {
-		c *= t.cfg.HugeWalkDiscount
+		c = c.Scale(t.cfg.HugeWalkDiscount)
 	}
 	if nested {
-		c *= t.cfg.NestedMultiplier
+		c = c.Scale(t.cfg.NestedMultiplier)
 	}
 	return c
 }

@@ -60,16 +60,16 @@ type Host struct {
 // VM is one guest machine.
 type VM struct {
 	Name     string
-	MemBytes int64
+	MemBytes mem.Bytes
 	Guest    *kernel.Kernel
 	HostProc *kernel.Proc
 
 	host *Host
 
-	highWater  int64 // max guest pages ever allocated (host must back them)
-	sharedNow  int64 // host pages currently reclaimed via sharing
-	swapped    int64 // guest pages the host could not back (on swap)
-	mirrorNext int64 // mirroring cursor
+	highWater  mem.Pages // max guest pages ever allocated (host must back them)
+	sharedNow  mem.Pages // host pages currently reclaimed via sharing
+	swapped    mem.Pages // guest pages the host could not back (on swap)
+	mirrorNext mem.Pages // mirroring cursor
 }
 
 // NewHost creates a host machine with its own policy (may be nil for a
@@ -85,7 +85,7 @@ func NewHost(cfg kernel.Config, pol kernel.Policy, sharing SharingMode) *Host {
 
 // AddVM boots a guest with memBytes of RAM and its own policy. The guest
 // shares the host's event engine and clock.
-func (h *Host) AddVM(name string, memBytes int64, guestPolicy kernel.Policy) *VM {
+func (h *Host) AddVM(name string, memBytes mem.Bytes, guestPolicy kernel.Policy) *VM {
 	gcfg := h.K.Cfg
 	gcfg.MemoryBytes = memBytes
 	gcfg.Engine = h.K.Engine
@@ -121,10 +121,10 @@ func (v *VM) SpawnAt(delay sim.Time, name string, prog kernel.Program) *kernel.P
 }
 
 // Swapped reports guest pages currently unbacked at the host.
-func (v *VM) Swapped() int64 { return v.swapped }
+func (v *VM) Swapped() mem.Pages { return v.swapped }
 
 // SharedPages reports host pages reclaimed from this VM via sharing.
-func (v *VM) SharedPages() int64 { return v.sharedNow }
+func (v *VM) SharedPages() mem.Pages { return v.sharedNow }
 
 // hotHugeFraction reports the huge-mapped fraction of the VM's
 // recently-accessed host regions (sampled).
@@ -163,7 +163,7 @@ func (v *VM) HostHugeFraction() float64 {
 	if rss <= 0 {
 		return 0
 	}
-	f := float64(v.HostProc.VP.HugeMapped()*mem.HugePages) / float64(rss)
+	f := float64(v.HostProc.VP.HugeMapped().Pages()) / float64(rss)
 	if f > 1 {
 		return 1
 	}
@@ -196,7 +196,7 @@ func (m *mirror) Step(k *kernel.Kernel, p *kernel.Proc) (sim.Time, bool, error) 
 	// 2. Sharing returns memory to the host from the top of the mirrored
 	// range: balloon offers all guest-free pages, prezero+KSM only the
 	// zero-filled ones (they merge onto the host zero page).
-	var sharable int64
+	var sharable mem.Pages
 	switch h.Sharing {
 	case Balloon:
 		sharable = v.Guest.Alloc.FreePages()
@@ -222,7 +222,7 @@ func (m *mirror) Step(k *kernel.Kernel, p *kernel.Proc) (sim.Time, bool, error) 
 	target := v.highWater - sharable
 	v.swapped = 0
 	for vpn := v.mirrorNext; vpn < target; vpn++ {
-		c, err := k.Touch(p, vmm.VPN(vpn), true)
+		c, err := k.Touch(p, vmm.VPN(0).Advance(vpn), true)
 		if err != nil {
 			// Host memory exhausted: the rest of this VM's span is swapped.
 			v.swapped = target - vpn
@@ -233,7 +233,7 @@ func (m *mirror) Step(k *kernel.Kernel, p *kernel.Proc) (sim.Time, bool, error) 
 	}
 	if grow := sharable - v.sharedNow; grow > 0 {
 		// The sharing window grew: release pages to the host.
-		consumed += k.Madvise(p, vmm.VPN(target), grow)
+		consumed += k.Madvise(p, vmm.VPN(0).Advance(target), grow)
 		if v.mirrorNext > target {
 			v.mirrorNext = target
 		}
@@ -260,7 +260,7 @@ func (m *mirror) Step(k *kernel.Kernel, p *kernel.Proc) (sim.Time, bool, error) 
 	// 6. Swap pressure slows every guest program of this VM.
 	slow := 1.0
 	if v.swapped > 0 {
-		gb := float64(v.swapped) * mem.PageSize / float64(1<<30)
+		gb := float64(v.swapped.Bytes()) / float64(1<<30)
 		slow += h.SwapSlowdownPerGB * gb
 	}
 	v.Guest.SlowdownFactor = slow
@@ -301,7 +301,7 @@ func (m *mirror) harvestAccessBits(k *kernel.Kernel, p *kernel.Proc) sim.Time {
 				if !pte.Present() || !r.SlotAccessed(slot) || pte.COW() {
 					continue
 				}
-				if int64(pte.Frame) >= m.vm.highWater {
+				if mem.Pages(pte.Frame) >= m.vm.highWater {
 					continue
 				}
 				if c, err := k.Touch(p, vmm.VPN(pte.Frame), false); err == nil {

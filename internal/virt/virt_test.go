@@ -12,7 +12,7 @@ import (
 	"hawkeye/internal/workload"
 )
 
-func hostConfig(mb int64) kernel.Config {
+func hostConfig(mb mem.Bytes) kernel.Config {
 	cfg := kernel.DefaultConfig()
 	cfg.MemoryBytes = mb << 20
 	return cfg
@@ -102,15 +102,15 @@ func TestOvercommitSwapsWithoutSharing(t *testing.T) {
 
 // touchFree touches pages, then releases 80% and idles.
 type touchFree struct {
-	pages int64
-	next  int64
+	pages mem.Pages
+	next  mem.Pages
 	freed bool
 }
 
 func (tf *touchFree) Step(k *kernel.Kernel, p *kernel.Proc) (sim.Time, bool, error) {
 	var consumed sim.Time
 	for tf.next < tf.pages && consumed < k.Cfg.Quantum {
-		c, err := k.Touch(p, vmm.VPN(tf.next), true)
+		c, err := k.Touch(p, vmm.VPN(0).Advance(tf.next), true)
 		if err != nil {
 			return consumed, false, err
 		}
@@ -125,7 +125,7 @@ func (tf *touchFree) Step(k *kernel.Kernel, p *kernel.Proc) (sim.Time, bool, err
 }
 
 func TestBalloonRelievesOvercommit(t *testing.T) {
-	run := func(mode SharingMode, guestPol func() kernel.Policy) int64 {
+	run := func(mode SharingMode, guestPol func() kernel.Policy) mem.Pages {
 		h := NewHost(hostConfig(256), policy.NewNone(), mode)
 		vm1 := h.AddVM("vm1", 192<<20, guestPol())
 		vm2 := h.AddVM("vm2", 192<<20, guestPol())

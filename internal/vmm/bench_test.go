@@ -8,10 +8,10 @@ import (
 	"hawkeye/internal/sim"
 )
 
-func benchHarness(b *testing.B, mb int64) *harness {
+func benchHarness(b *testing.B, mb mem.Bytes) *harness {
 	b.Helper()
 	alloc := mem.NewAllocator(mb << 20)
-	store := content.NewStore(alloc.TotalPages(), sim.NewRand(7))
+	store := content.NewStore(int64(alloc.TotalPages()), sim.NewRand(7))
 	return &harness{alloc: alloc, store: store, vmm: New(alloc, store)}
 }
 

@@ -222,9 +222,9 @@ func (v *VMM) BreakCOW(p *Process, r *Region, slot int, newFrame mem.FrameID) {
 // DontNeed releases [start, start+pages) as madvise(MADV_DONTNEED) does:
 // huge mappings covering the range are demoted first, then covered base
 // pages are unmapped and freed. Returns the number of pages released.
-func (v *VMM) DontNeed(p *Process, start VPN, pages int64) int64 {
-	released := int64(0)
-	end := start + VPN(pages)
+func (v *VMM) DontNeed(p *Process, start VPN, pages mem.Pages) mem.Pages {
+	released := mem.Pages(0)
+	end := start.Advance(pages)
 	for vpn := start; vpn < end; {
 		r := p.regions[RegionOf(vpn)]
 		regionEnd := RegionOf(vpn).BaseVPN() + mem.HugePages
@@ -250,7 +250,7 @@ func (v *VMM) DontNeed(p *Process, start VPN, pages int64) int64 {
 			}
 		}
 		if r.Reserved && r.populated == 0 {
-			released += int64(v.releaseReservationLocked(r))
+			released += mem.Pages(v.releaseReservationLocked(r))
 		}
 	}
 	return released

@@ -64,7 +64,7 @@ func TestRandomOpsInvariants(t *testing.T) {
 			}
 		case 5: // madvise a random span
 			start := idx.BaseVPN() + VPN(r.Intn(mem.HugePages))
-			v.DontNeed(p, start, int64(r.Intn(256)+1))
+			v.DontNeed(p, start, mem.Pages(r.Intn(256)+1))
 		case 6: // compaction pulse
 			alloc.Compact(1)
 		}
@@ -77,7 +77,7 @@ func TestRandomOpsInvariants(t *testing.T) {
 		}
 		owners := map[mem.FrameID]int{}
 		for _, pp := range procs {
-			var rss int64
+			var rss mem.Pages
 			for _, rr := range pp.RegionsInOrder() {
 				if rr.Huge {
 					rss += mem.HugePages
@@ -120,7 +120,7 @@ func TestRandomOpsInvariants(t *testing.T) {
 }
 
 func newStoreFor(a *mem.Allocator) *content.Store {
-	return content.NewStore(a.TotalPages(), sim.NewRand(9))
+	return content.NewStore(int64(a.TotalPages()), sim.NewRand(9))
 }
 
 // TestPropertyRegionHelpers checks VPN/region arithmetic over random VPNs.

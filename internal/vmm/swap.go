@@ -31,15 +31,15 @@ type SwapDevice struct {
 
 // NewSwapDevice creates a device with the given slot count whose contents
 // are stored at [base, base+slots) in the content store.
-func NewSwapDevice(base mem.FrameID, slots int64) *SwapDevice {
-	return &SwapDevice{base: base, slots: slots}
+func NewSwapDevice(base mem.FrameID, slots mem.Pages) *SwapDevice {
+	return &SwapDevice{base: base, slots: int64(slots)}
 }
 
 // Slots reports the device capacity in pages.
-func (d *SwapDevice) Slots() int64 { return d.slots }
+func (d *SwapDevice) Slots() mem.Pages { return mem.Pages(d.slots) }
 
 // Used reports occupied slots.
-func (d *SwapDevice) Used() int64 { return d.used }
+func (d *SwapDevice) Used() mem.Pages { return mem.Pages(d.used) }
 
 // alloc reserves a slot, returning false when the device is full.
 func (d *SwapDevice) alloc() (int64, bool) {
@@ -128,7 +128,9 @@ func (v *VMM) ReleaseSwapped(p *Process, dev *SwapDevice) int {
 		return 0
 	}
 	n := 0
-	for _, r := range p.regions {
+	// Address order, not map order: released slots land on the device's
+	// LIFO free list, so visit order decides future slot assignment.
+	for _, r := range p.RegionsInOrder() {
 		if r.Huge {
 			continue
 		}
@@ -143,9 +145,12 @@ func (v *VMM) ReleaseSwapped(p *Process, dev *SwapDevice) int {
 }
 
 // SwappedCount reports the process's pages currently on swap.
-func (p *Process) SwappedCount() int64 {
-	var n int64
-	for _, r := range p.regions {
+func (p *Process) SwappedCount() mem.Pages {
+	var n mem.Pages
+	// Address order keeps even pure counting loops off the map-iteration
+	// path (integer summation is order-safe, but the determinism analyzer
+	// cannot prove it; the sorted walk is equally cheap).
+	for _, r := range p.RegionsInOrder() {
 		if r.Huge {
 			continue
 		}

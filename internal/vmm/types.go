@@ -17,13 +17,23 @@ type VPN int64
 type RegionIndex int64
 
 // RegionOf returns the region containing a VPN.
+//
+//lint:allow unitsafety canonical VPN -> region helper: the geometry lives here
 func RegionOf(v VPN) RegionIndex { return RegionIndex(v >> mem.HugeOrder) }
 
 // BaseVPN returns the first VPN of a region.
+//
+//lint:allow unitsafety canonical region -> VPN helper: the geometry lives here
 func (r RegionIndex) BaseVPN() VPN { return VPN(r) << mem.HugeOrder }
 
 // SlotOf returns the index of a VPN within its region (0..511).
 func SlotOf(v VPN) int { return int(v & (mem.HugePages - 1)) }
+
+// Advance returns the VPN p pages past v — the sanctioned way to offset an
+// address by a page count without a raw cross-unit conversion.
+//
+//lint:allow unitsafety canonical page-offset helper
+func (v VPN) Advance(p mem.Pages) VPN { return v + VPN(p) }
 
 // pteFlags are per-base-PTE flag bits. pteAccessed and pteDirty only appear
 // in Region.hugeFlags: for base mappings those bits live in the region's

@@ -34,8 +34,8 @@ type Process struct {
 	order      []RegionIndex // sorted region indices, maintained lazily
 	dirtyOrder bool
 
-	rss        int64 // pages charged to RSS
-	hugeMapped int64 // current huge mappings
+	rss        mem.Pages   // pages charged to RSS
+	hugeMapped mem.Regions // current huge mappings
 
 	Stats Stats
 }
@@ -108,13 +108,13 @@ func (v *VMM) Processes() []*Process {
 }
 
 // RSS reports the process's resident set size in base pages.
-func (p *Process) RSS() int64 { return p.rss }
+func (p *Process) RSS() mem.Pages { return p.rss }
 
 // RSSBytes reports RSS in bytes.
-func (p *Process) RSSBytes() int64 { return p.rss * mem.PageSize }
+func (p *Process) RSSBytes() mem.Bytes { return p.rss.Bytes() }
 
 // HugeMapped reports the number of live huge mappings.
-func (p *Process) HugeMapped() int64 { return p.hugeMapped }
+func (p *Process) HugeMapped() mem.Regions { return p.hugeMapped }
 
 // Region returns the region with the given index, or nil.
 func (p *Process) Region(idx RegionIndex) *Region { return p.regions[idx] }
@@ -300,7 +300,11 @@ func (v *VMM) Exit(p *Process) {
 	if v.Swap != nil {
 		v.ReleaseSwapped(p, v.Swap)
 	}
-	for _, r := range p.regions {
+	// Teardown walks regions in address order, not map order: unmapping
+	// pushes frames onto the buddy free lists, so the visit order decides
+	// what the next allocation hands out — map order would leak wall-clock
+	// randomness into the simulation.
+	for _, r := range p.RegionsInOrder() {
 		if r.Huge {
 			v.UnmapHuge(p, r, true)
 		}

@@ -15,10 +15,10 @@ type harness struct {
 	vmm   *VMM
 }
 
-func newHarness(t testing.TB, mb int64) *harness {
+func newHarness(t testing.TB, mb mem.Bytes) *harness {
 	t.Helper()
 	alloc := mem.NewAllocator(mb << 20)
-	store := content.NewStore(alloc.TotalPages(), sim.NewRand(7))
+	store := content.NewStore(int64(alloc.TotalPages()), sim.NewRand(7))
 	return &harness{alloc: alloc, store: store, vmm: New(alloc, store)}
 }
 
@@ -205,7 +205,7 @@ func TestReleaseReservation(t *testing.T) {
 	if released != mem.HugePages-10 {
 		t.Fatalf("released %d, want %d", released, mem.HugePages-10)
 	}
-	if h.alloc.FreePages() != free+int64(released) {
+	if h.alloc.FreePages() != free+mem.Pages(released) {
 		t.Fatal("released frames not freed")
 	}
 	if p.RSS() != 10 {
@@ -242,7 +242,7 @@ func TestDedupHugeRecoversBloat(t *testing.T) {
 	if released != mem.HugePages-64 {
 		t.Fatalf("released %d, want %d", released, mem.HugePages-64)
 	}
-	if h.alloc.FreePages() != free+int64(released) {
+	if h.alloc.FreePages() != free+mem.Pages(released) {
 		t.Fatal("dedup did not free frames")
 	}
 	if p.RSS() != 64 {

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"hawkeye/internal/kernel"
+	"hawkeye/internal/mem"
 	"hawkeye/internal/sim"
 	"hawkeye/internal/vmm"
 )
@@ -20,7 +21,7 @@ type KVOp interface{ isKVOp() }
 // sets the simulated duration of the phase.
 type KVInsert struct {
 	Keys       int64
-	ValuePages int64
+	ValuePages mem.Pages
 	PageCost   sim.Time
 }
 
@@ -94,7 +95,9 @@ var _ kernel.Program = (*KVStore)(nil)
 func (kv *KVStore) LiveKeys() int { return len(kv.keys) }
 
 // HeapPages reports the high-water VA footprint in pages.
-func (kv *KVStore) HeapPages() int64 { return int64(kv.nextVPN) }
+//
+//lint:allow unitsafety heap starts at VPN 0, so the high-water address IS the page count
+func (kv *KVStore) HeapPages() mem.Pages { return mem.Pages(kv.nextVPN) }
 
 // Throughput reports BaseThroughput scaled by the last serve efficiency.
 func (kv *KVStore) Throughput() float64 { return kv.BaseThroughput * kv.ServeEfficiency }
@@ -166,14 +169,14 @@ func (kv *KVStore) runInsert(k *kernel.Kernel, p *kernel.Proc, op KVInsert, budg
 	var consumed sim.Time
 	for kv.insertPos < op.Keys && consumed < budget {
 		start := kv.nextVPN
-		for pg := int64(0); pg < op.ValuePages; pg++ {
-			c, err := k.Touch(p, start+vmm.VPN(pg), true)
+		for pg := mem.Pages(0); pg < op.ValuePages; pg++ {
+			c, err := k.Touch(p, start.Advance(pg), true)
 			if err != nil {
 				return consumed, false, err
 			}
 			consumed += c + pageCost
 		}
-		kv.nextVPN += vmm.VPN(op.ValuePages)
+		kv.nextVPN = kv.nextVPN.Advance(op.ValuePages)
 		kv.keys = append(kv.keys, kvKey{start: start, pages: int32(op.ValuePages)})
 		kv.insertPos++
 	}
@@ -209,7 +212,7 @@ func (kv *KVStore) runDelete(k *kernel.Kernel, p *kernel.Proc, op KVDelete) (sim
 	survivors := kv.keys[:0]
 	for i, key := range kv.keys {
 		if kill[i] {
-			consumed += k.Madvise(p, key.start, int64(key.pages))
+			consumed += k.Madvise(p, key.start, mem.Pages(key.pages))
 		} else {
 			survivors = append(survivors, key)
 		}
@@ -269,10 +272,10 @@ func (kv *KVStore) runServe(k *kernel.Kernel, p *kernel.Proc, op KVServe, budget
 }
 
 // LivePages reports the total pages of live values (the useful data set).
-func (kv *KVStore) LivePages() int64 {
-	var n int64
+func (kv *KVStore) LivePages() mem.Pages {
+	var n mem.Pages
 	for _, key := range kv.keys {
-		n += int64(key.pages)
+		n += mem.Pages(key.pages)
 	}
 	return n
 }

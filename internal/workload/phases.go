@@ -2,6 +2,7 @@ package workload
 
 import (
 	"hawkeye/internal/kernel"
+	"hawkeye/internal/mem"
 	"hawkeye/internal/sim"
 	"hawkeye/internal/vmm"
 )
@@ -69,11 +70,11 @@ func (ph *Phased) reset() {
 // work besides the fault itself.
 type Populate struct {
 	Start  vmm.VPN
-	Pages  int64
+	Pages  mem.Pages
 	OpCost sim.Time
 	Write  bool
 
-	next int64
+	next mem.Pages
 	init bool
 }
 
@@ -86,7 +87,7 @@ func (pp *Populate) run(k *kernel.Kernel, p *kernel.Proc, budget sim.Time) (sim.
 	var consumed sim.Time
 	write := pp.Write
 	for pp.next < pp.Pages && consumed < budget {
-		c, err := k.Touch(p, pp.Start+vmm.VPN(pp.next), write)
+		c, err := k.Touch(p, pp.Start.Advance(pp.next), write)
 		if err != nil {
 			return consumed, false, err
 		}
@@ -124,7 +125,7 @@ func (st *Steady) run(k *kernel.Kernel, p *kernel.Proc, budget sim.Time) (sim.Ti
 // Free releases [Start, Start+Pages) via madvise(DONTNEED).
 type Free struct {
 	Start vmm.VPN
-	Pages int64
+	Pages mem.Pages
 
 	done bool
 }

@@ -31,8 +31,8 @@ const (
 
 // Sampler generates the address stream of one workload phase.
 type Sampler struct {
-	Base  vmm.VPN // first VPN of the range
-	Pages int64   // range length in pages
+	Base  vmm.VPN   // first VPN of the range
+	Pages mem.Pages // range length in pages
 
 	Kind            Pattern
 	HotFrac         float64 // Hotspot: fraction of range (at the top) that is hot
@@ -70,25 +70,25 @@ func (s *Sampler) Sample(r *sim.Rand) (vmm.VPN, bool) {
 		s.seqCnt++
 		if s.seqCnt >= app || s.seqPos == 0 {
 			s.seqCnt = 0
-			s.seqPos = 1 + r.Int63n(s.Pages)
+			s.seqPos = 1 + r.Int63n(int64(s.Pages))
 		}
-		return s.Base + vmm.VPN(s.seqPos-1), write
+		return s.Base.Advance(mem.Pages(s.seqPos - 1)), write
 	case Hotspot:
-		hotPages := int64(float64(s.Pages) * s.HotFrac)
+		hotPages := mem.Pages(float64(s.Pages) * s.HotFrac)
 		if hotPages < 1 {
 			hotPages = 1
 		}
 		if r.Float64() < s.HotProb {
 			// Hot set lives at the top of the range.
-			return s.Base + vmm.VPN(s.Pages-hotPages+r.Int63n(hotPages)), write
+			return s.Base.Advance(s.Pages - hotPages + mem.Pages(r.Int63n(int64(hotPages)))), write
 		}
 		cold := s.Pages - hotPages
 		if cold < 1 {
 			cold = s.Pages
 		}
-		return s.Base + vmm.VPN(r.Int63n(cold)), write
+		return s.Base.Advance(mem.Pages(r.Int63n(int64(cold)))), write
 	default: // Uniform
-		return s.Base + vmm.VPN(r.Int63n(s.Pages)), write
+		return s.Base.Advance(mem.Pages(r.Int63n(int64(s.Pages)))), write
 	}
 }
 
@@ -98,14 +98,11 @@ func (s *Sampler) Profile() kernel.AccessProfile { return s.Prof }
 // HotRegions returns the region span of the hot set (for experiment
 // introspection): regions [lo, hi) of the process hold the hot pages.
 func (s *Sampler) HotRegions() (lo, hi vmm.RegionIndex) {
-	hotPages := int64(float64(s.Pages) * s.HotFrac)
+	hotPages := mem.Pages(float64(s.Pages) * s.HotFrac)
 	if s.Kind != Hotspot || hotPages <= 0 {
-		return vmm.RegionOf(s.Base), vmm.RegionOf(s.Base+vmm.VPN(s.Pages-1)) + 1
+		return vmm.RegionOf(s.Base), vmm.RegionOf(s.Base.Advance(s.Pages-1)) + 1
 	}
-	lo = vmm.RegionOf(s.Base + vmm.VPN(s.Pages-hotPages))
-	hi = vmm.RegionOf(s.Base+vmm.VPN(s.Pages-1)) + 1
+	lo = vmm.RegionOf(s.Base.Advance(s.Pages - hotPages))
+	hi = vmm.RegionOf(s.Base.Advance(s.Pages-1)) + 1
 	return
 }
-
-// PagesOfBytes converts a byte footprint to pages.
-func PagesOfBytes(b int64) int64 { return mem.PagesOf(b) }

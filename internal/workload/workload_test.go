@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"hawkeye/internal/kernel"
+	"hawkeye/internal/mem"
 	"hawkeye/internal/sim"
 	"hawkeye/internal/vmm"
 )
@@ -26,7 +27,7 @@ func (hugePolicy) OnFault(*kernel.Kernel, *kernel.Proc, *vmm.Region, vmm.VPN) ke
 	return kernel.DecideHuge
 }
 
-func testKernel(mb int64, pol kernel.Policy) *kernel.Kernel {
+func testKernel(mb mem.Bytes, pol kernel.Policy) *kernel.Kernel {
 	cfg := kernel.DefaultConfig()
 	cfg.MemoryBytes = mb << 20
 	return kernel.New(cfg, pol)
@@ -132,7 +133,7 @@ func TestMicrobenchFaultCount(t *testing.T) {
 	if !p.Done {
 		t.Fatal("microbench did not finish")
 	}
-	wantFaults := int64(3) * inst.Pages
+	wantFaults := 3 * int64(inst.Pages)
 	if p.Acct.BaseFaults != wantFaults {
 		t.Fatalf("faults = %d, want %d (3 passes × %d pages)", p.Acct.BaseFaults, wantFaults, inst.Pages)
 	}
@@ -280,7 +281,7 @@ func TestKVStoreHugeBloatAfterSparseDelete(t *testing.T) {
 	if p.VP.HugeMapped() != 0 {
 		t.Fatalf("huge mappings survived sparse delete: %d", p.VP.HugeMapped())
 	}
-	want := int64(4*512) / 4
+	want := mem.Pages(4*512) / 4
 	if p.VP.RSS() != want {
 		t.Fatalf("RSS = %d, want %d", p.VP.RSS(), want)
 	}

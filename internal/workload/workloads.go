@@ -6,19 +6,20 @@ import (
 	"hawkeye/internal/tlb"
 
 	"hawkeye/internal/kernel"
+	"hawkeye/internal/mem"
 	"hawkeye/internal/sim"
 	"hawkeye/internal/vmm"
 )
 
 // GB is one gibibyte.
-const GB = int64(1) << 30
+const GB = mem.Bytes(1) << 30
 
 // Spec describes a steady-state workload: footprint, address-stream shape,
 // and the useful-work duration calibrated so that 4 KB-page runtimes match
 // the paper's numbers at the default machine scale.
 type Spec struct {
 	Name        string
-	Footprint   int64 // bytes, at full (paper) scale
+	Footprint   mem.Bytes // at full (paper) scale
 	WorkSeconds float64
 
 	Kind            Pattern
@@ -118,7 +119,7 @@ type Instance struct {
 	Spec    Spec
 	Program kernel.Program
 	Sampler *Sampler
-	Pages   int64 // scaled footprint in pages
+	Pages   mem.Pages // scaled footprint in pages
 }
 
 // New builds a workload instance at the given footprint scale (e.g. 1/12
@@ -127,7 +128,7 @@ func New(spec Spec, scale float64) *Instance {
 	if scale <= 0 {
 		scale = 1
 	}
-	pages := PagesOfBytes(int64(float64(spec.Footprint) * scale))
+	pages := mem.Bytes(float64(spec.Footprint) * scale).Pages()
 	if pages < 1 {
 		pages = 1
 	}
@@ -156,8 +157,8 @@ func NewByName(name string, scale float64) *Instance { return New(Lookup(name), 
 
 // Microbench builds the Table 1 microbenchmark: allocate a buffer of
 // `bytes`, touch one byte in every base page, release it, `repeat` times.
-func Microbench(bytes int64, repeat int, scale float64) *Instance {
-	pages := PagesOfBytes(int64(float64(bytes) * scale))
+func Microbench(bytes mem.Bytes, repeat int, scale float64) *Instance {
+	pages := mem.Bytes(float64(bytes) * scale).Pages()
 	prog := &Phased{
 		Repeat: repeat,
 		Phases: []Phase{
@@ -174,8 +175,8 @@ func Microbench(bytes int64, repeat int, scale float64) *Instance {
 
 // Spinup models KVM/JVM spin-up (Table 8): the VM touches its entire
 // memory during initialization and is "up" when done.
-func Spinup(name string, bytes int64, scale float64) *Instance {
-	pages := PagesOfBytes(int64(float64(bytes) * scale))
+func Spinup(name string, bytes mem.Bytes, scale float64) *Instance {
+	pages := mem.Bytes(float64(bytes) * scale).Pages()
 	prog := &Phased{Phases: []Phase{
 		&Populate{Start: 0, Pages: pages, Write: true},
 	}}
@@ -184,8 +185,8 @@ func Spinup(name string, bytes int64, scale float64) *Instance {
 
 // SparseHash models the C++ sparse-hash insert benchmark (Table 8): page
 // faults interleave with per-page insert work.
-func SparseHash(bytes int64, scale float64) *Instance {
-	pages := PagesOfBytes(int64(float64(bytes) * scale))
+func SparseHash(bytes mem.Bytes, scale float64) *Instance {
+	pages := mem.Bytes(float64(bytes) * scale).Pages()
 	prog := &Phased{Phases: []Phase{
 		&Populate{Start: 0, Pages: pages, Write: true, OpCost: 1}, // ~1 µs/page of hashing
 	}}
@@ -194,8 +195,8 @@ func SparseHash(bytes int64, scale float64) *Instance {
 
 // HACCIO models the HACC-IO checkpoint benchmark (Table 8) writing a 6 GB
 // in-memory file sequentially.
-func HACCIO(bytes int64, scale float64) *Instance {
-	pages := PagesOfBytes(int64(float64(bytes) * scale))
+func HACCIO(bytes mem.Bytes, scale float64) *Instance {
+	pages := mem.Bytes(float64(bytes) * scale).Pages()
 	prog := &Phased{Phases: []Phase{
 		&Populate{Start: 0, Pages: pages, Write: true, OpCost: 1},
 	}}
