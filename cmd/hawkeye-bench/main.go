@@ -13,6 +13,10 @@
 // with per-experiment wall time, allocated bytes and simulation-event
 // throughput; see README.md for the schema.
 //
+// Profiling: -cpuprofile, -memprofile and -trace write pprof/execution-trace
+// files covering the experiment runs (flag parsing and table printing
+// excluded), for use with `go tool pprof` / `go tool trace`.
+//
 // Valid experiment IDs: run with -list.
 package main
 
@@ -21,6 +25,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"hawkeye/internal/experiments"
@@ -34,6 +41,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	parallel := flag.Int("parallel", 1, "worker pool size (0 = GOMAXPROCS)")
 	jsonOut := flag.String("json", "", "write a JSON report to this path (\"-\" = stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this path")
+	memProfile := flag.String("memprofile", "", "write an allocation profile (after the runs) to this path")
+	traceOut := flag.String("trace", "", "write a runtime execution trace of the experiment runs to this path")
 	flag.Parse()
 
 	if *list {
@@ -54,9 +64,58 @@ func main() {
 	}
 	opts := experiments.Options{Scale: *scale, Seed: *seed, Quick: *quick}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		defer trace.Stop()
+	}
+
 	start := time.Now()
 	results := runner.Run(ids, opts, *parallel)
 	totalWall := time.Since(start)
+
+	// Stop the run-scoped recorders before reporting so the profiles cover
+	// exactly the experiment work.
+	if *traceOut != "" {
+		trace.Stop()
+	}
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runtime.GC() // flush final allocation stats into the heap profile
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 
 	// With -json - the report owns stdout; tables move to stderr so the
 	// JSON stays machine-parseable.

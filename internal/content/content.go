@@ -32,31 +32,57 @@ type Signature struct {
 // Zero reports whether the page is all-zero.
 func (s Signature) Zero() bool { return s.Hash == ZeroHash }
 
-// Store tracks a Signature for every physical frame.
+// Store tracks a Signature for every physical frame. The two signature
+// fields live in parallel arrays rather than one []Signature: padding made
+// the struct 16 bytes per frame, and the split packs the same state into 10
+// — less memory cleared per machine construction and better scan locality.
 type Store struct {
-	sigs []Signature
-	rng  *sim.Rand
+	hashes []uint64
+	fnz    []uint16
+	rng    *sim.Rand
 
 	// MeanFirstNonZero parameterizes the generator for application writes
 	// (paper Fig. 3 measures ≈ 9.11 across 56 workloads).
 	MeanFirstNonZero float64
+
+	// geo is the precomputed threshold table for the current
+	// MeanFirstNonZero (geoMean), rebuilt lazily when the mean changes.
+	geo     *sim.GeometricTable
+	geoMean float64
 }
 
 // NewStore creates a content store for an allocator's frames. Fresh machine
 // memory is all-zero.
 func NewStore(totalFrames int64, rng *sim.Rand) *Store {
 	return &Store{
-		sigs:             make([]Signature, totalFrames),
+		hashes:           make([]uint64, totalFrames),
+		fnz:              make([]uint16, totalFrames),
 		rng:              rng,
 		MeanFirstNonZero: 9.11,
 	}
 }
 
 // Get returns the signature of a frame.
-func (s *Store) Get(f mem.FrameID) Signature { return s.sigs[f] }
+func (s *Store) Get(f mem.FrameID) Signature {
+	return Signature{Hash: s.hashes[f], FirstNonZero: s.fnz[f]}
+}
 
 // SetZero records that a frame was cleared.
-func (s *Store) SetZero(f mem.FrameID) { s.sigs[f] = Signature{} }
+func (s *Store) SetZero(f mem.FrameID) {
+	s.hashes[f] = ZeroHash
+	s.fnz[f] = 0
+}
+
+// firstNonZero draws a first-non-zero offset through the threshold table,
+// which produces bit-identical values to Geometric(MeanFirstNonZero, ...)
+// while skipping its per-draw multiply chain.
+func (s *Store) firstNonZero() uint16 {
+	if s.geo == nil || s.geoMean != s.MeanFirstNonZero {
+		s.geo = sim.NewGeometricTable(s.MeanFirstNonZero, mem.PageSize-1)
+		s.geoMean = s.MeanFirstNonZero
+	}
+	return uint16(s.geo.Draw(s.rng))
+}
 
 // Write records an application write of arbitrary (unique) data: the page
 // becomes non-zero with a fresh hash and a generator-drawn first-non-zero
@@ -66,10 +92,8 @@ func (s *Store) Write(f mem.FrameID) {
 	if h == ZeroHash {
 		h = 1
 	}
-	s.sigs[f] = Signature{
-		Hash:         h,
-		FirstNonZero: uint16(s.rng.Geometric(s.MeanFirstNonZero, mem.PageSize-1)),
-	}
+	s.hashes[f] = h
+	s.fnz[f] = s.firstNonZero()
 }
 
 // WriteShared records a write of logically shared data (e.g. a page of a VM
@@ -79,11 +103,15 @@ func (s *Store) WriteShared(f mem.FrameID, key uint64) {
 	if key == ZeroHash {
 		key = 1
 	}
-	s.sigs[f] = Signature{Hash: key, FirstNonZero: uint16(s.rng.Geometric(s.MeanFirstNonZero, mem.PageSize-1))}
+	s.hashes[f] = key
+	s.fnz[f] = s.firstNonZero()
 }
 
 // Copy duplicates src's content into dst (page migration, COW break).
-func (s *Store) Copy(dst, src mem.FrameID) { s.sigs[dst] = s.sigs[src] }
+func (s *Store) Copy(dst, src mem.FrameID) {
+	s.hashes[dst] = s.hashes[src]
+	s.fnz[dst] = s.fnz[src]
+}
 
 // ScanResult reports the outcome of scanning one page for zero content.
 type ScanResult struct {
@@ -94,11 +122,10 @@ type ScanResult struct {
 // Scan models the bloat-recovery scanner: it reads the page until the first
 // non-zero byte (cheap for in-use pages, full 4096 bytes for zero pages).
 func (s *Store) Scan(f mem.FrameID) ScanResult {
-	sig := s.sigs[f]
-	if sig.Zero() {
+	if s.hashes[f] == ZeroHash {
 		return ScanResult{Zero: true, BytesScanned: mem.PageSize}
 	}
-	return ScanResult{Zero: false, BytesScanned: int(sig.FirstNonZero) + 1}
+	return ScanResult{Zero: false, BytesScanned: int(s.fnz[f]) + 1}
 }
 
 // ScanCost converts scanned bytes into simulated time. Calibrated at

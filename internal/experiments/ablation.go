@@ -101,9 +101,8 @@ func Ablation(o Options) (*Table, error) {
 		if !recovery {
 			cfg.WatermarkHigh = 1.1 // never triggers
 		}
-		kcfg := kernel.DefaultConfig()
+		kcfg := o.kernelConfig()
 		kcfg.MemoryBytes = mem.Bytes(float64(48<<30) * o.Scale)
-		kcfg.Seed = o.Seed
 		pol := core.New(cfg)
 		k := kernel.New(kcfg, pol)
 		o.observe(k)

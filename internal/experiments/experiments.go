@@ -34,6 +34,12 @@ type Options struct {
 	// throughput) for this run. It never influences results, so runs with
 	// and without it are byte-identical.
 	Metrics *Metrics
+	// Scalar forces every machine the experiment builds onto the scalar
+	// (one access at a time) reference path instead of the batched
+	// run-length pipeline. Output is byte-identical either way — the
+	// golden equivalence test in internal/runner holds the two paths to
+	// that contract.
+	Scalar bool
 }
 
 // Metrics aggregates simulation counters across every machine an experiment
@@ -222,12 +228,21 @@ func Run(id string, o Options) (*Table, error) {
 
 // --- shared machinery -----------------------------------------------------
 
-// newKernel builds a machine for an experiment.
-func newKernel(o Options, pol kernel.Policy) *kernel.Kernel {
+// kernelConfig returns the default machine configuration with the options'
+// cross-cutting knobs (seed, memory, execution path) applied. Experiments
+// that build kernels directly must start from this so the scalar-oracle
+// switch reaches every machine.
+func (o Options) kernelConfig() kernel.Config {
 	cfg := kernel.DefaultConfig()
 	cfg.MemoryBytes = o.MemoryBytes
 	cfg.Seed = o.Seed
-	k := kernel.New(cfg, pol)
+	cfg.ScalarPath = o.Scalar
+	return cfg
+}
+
+// newKernel builds a machine for an experiment.
+func newKernel(o Options, pol kernel.Policy) *kernel.Kernel {
+	k := kernel.New(o.kernelConfig(), pol)
 	o.observe(k)
 	return k
 }

@@ -54,9 +54,8 @@ func Fig1(o Options) (*Table, error) {
 	}
 	var outs []outcome
 	for _, c := range configs {
-		kcfg := kernel.DefaultConfig()
+		kcfg := o.kernelConfig()
 		kcfg.MemoryBytes = machBytes
-		kcfg.Seed = o.Seed
 		pol := c.pol()
 		k := kernel.New(kcfg, pol)
 		o.observe(k)

@@ -88,9 +88,7 @@ func runFig11(o Options, mode virt.SharingMode, guestPol func() kernel.Policy) (
 		pagerank, cg sim.Time
 		swapped      mem.Pages
 	}
-	hcfg := kernel.DefaultConfig()
-	hcfg.MemoryBytes = o.MemoryBytes
-	hcfg.Seed = o.Seed
+	hcfg := o.kernelConfig()
 	h := virt.NewHost(hcfg, policy.NewLinuxTHP(), mode)
 	o.observe(h.K)
 

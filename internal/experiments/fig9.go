@@ -76,9 +76,7 @@ func quickLinux(o Options) kernel.Policy {
 
 // runFig9 boots one VM holding both workloads on a fragmented host.
 func runFig9(o Options, spec workload.Spec, hostPol, guestPol kernel.Policy) (sim.Time, float64, mem.Regions, error) {
-	hcfg := kernel.DefaultConfig()
-	hcfg.MemoryBytes = o.MemoryBytes
-	hcfg.Seed = o.Seed
+	hcfg := o.kernelConfig()
 	h := virt.NewHost(hcfg, hostPol, virt.NoSharing)
 	o.observe(h.K)
 	h.K.FragmentMemory(fragKeep)

@@ -38,10 +38,9 @@ func SwapDemo(o Options) (*Table, error) {
 	}
 	pages := memBytes.Pages() * 16 / 10
 	for _, c := range configs {
-		kcfg := kernel.DefaultConfig()
+		kcfg := o.kernelConfig()
 		kcfg.MemoryBytes = memBytes
 		kcfg.SwapBytes = memBytes
-		kcfg.Seed = o.Seed
 		k := kernel.New(kcfg, c.pol())
 		o.observe(k)
 		p := k.Spawn("walker", &swapWalker{pages: pages, passes: 2})

@@ -42,9 +42,7 @@ func Table1(o Options) (*Table, error) {
 		Header: []string{"config", "page-faults", "fault-time", "avg-fault", "system-time", "total-time"},
 	}
 	for _, c := range configs {
-		cfg := kernel.DefaultConfig()
-		cfg.MemoryBytes = o.MemoryBytes
-		cfg.Seed = o.Seed
+		cfg := o.kernelConfig()
 		if c.noZero {
 			cfg.Fault.BaseZeroNs = 0
 			cfg.Fault.HugeZeroNs = 0

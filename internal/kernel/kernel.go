@@ -30,6 +30,12 @@ type Config struct {
 	// SamplesPerQuantum controls the TLB-simulation sampling density of
 	// SteadyRun.
 	SamplesPerQuantum int
+	// ScalarPath forces the scalar (one access at a time) reference
+	// implementations of SteadyRun and Populate instead of the batched
+	// run-length pipeline. The batched path is bit-identical by
+	// construction; the scalar path is kept as the oracle the golden
+	// equivalence test compares against.
+	ScalarPath bool
 	// Engine, when non-nil, co-simulates this kernel on an existing engine
 	// (guest machines share the host's clock). Kernels on a shared engine
 	// never auto-stop it.
@@ -102,6 +108,9 @@ type Proc struct {
 	WorkDone float64
 
 	rng *sim.Rand
+	// runBuf is the reusable per-quantum trace buffer of the batched
+	// steady-state path.
+	runBuf []AccessRun
 }
 
 // Name returns the process name.
@@ -364,35 +373,30 @@ func (k *Kernel) FragmentMemoryPinned(keep, pinnedChunkFrac float64) {
 	if stride < 2 {
 		stride = 2
 	}
-	var blocks []mem.Block
-	for {
-		blk, err := k.Alloc.Alloc(0, mem.PreferNonZero, mem.TagFile)
-		if err != nil {
-			break
-		}
-		blocks = append(blocks, blk)
-	}
+	// Drain the whole machine into page cache in one bulk pass; the frames
+	// come back in the order page-by-page allocation would produce.
+	blocks := k.Alloc.DrainAllFile()
 	// Decide which chunks get a kernel pin, deterministically from the seed.
 	rng := k.Engine.Rand.Fork()
 	totalChunks := int64(k.Alloc.TotalPages().Regions())
-	pinned := make(map[int64]bool, totalChunks)
-	for c := int64(0); c < totalChunks; c++ {
+	pinned := make([]bool, totalChunks)
+	for c := range pinned {
 		if rng.Float64() < pinnedChunkFrac {
 			pinned[c] = true
 		}
 	}
-	pinDone := make(map[int64]bool, len(pinned))
-	for i, blk := range blocks {
-		chunk := int64(blk.Head) >> mem.HugeOrder
+	pinDone := make([]bool, totalChunks)
+	for i, head := range blocks {
+		chunk := int64(head) >> mem.HugeOrder
 		if i%stride != stride-1 {
-			k.Alloc.Free(blk.Head, 0, true)
+			k.Alloc.Free(head, 0, true)
 			continue
 		}
 		if pinned[chunk] && !pinDone[chunk] {
 			// Convert this resident cache page into an unmovable kernel
 			// allocation: free it and immediately re-allocate... the buddy
 			// would hand back a different frame, so retag it in place.
-			k.Alloc.RetagFrame(blk.Head, mem.TagKernel)
+			k.Alloc.RetagFrame(head, mem.TagKernel)
 			pinDone[chunk] = true
 		}
 	}

@@ -41,6 +41,11 @@ type SteadyResult struct {
 // Faults encountered by sampled accesses (lazy population, COW refaults
 // after dedup) are resolved and charged.
 func (k *Kernel) SteadyRun(p *Proc, dur sim.Time, s AccessSampler) (SteadyResult, error) {
+	if !k.Cfg.ScalarPath {
+		if rs, ok := s.(RunSampler); ok {
+			return k.steadyRunBatched(p, dur, rs)
+		}
+	}
 	var res SteadyResult
 	if dur <= 0 {
 		return res, nil

@@ -3,6 +3,7 @@ package mem
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // ErrOutOfMemory is returned when an allocation cannot be satisfied even
@@ -43,8 +44,17 @@ type Mover interface {
 // zero/non-zero free lists per order.
 type Allocator struct {
 	frames []frame
-	next   []FrameID // intrusive free-list links
-	prev   []FrameID
+	// Intrusive free-list links, as int32 frame numbers (-1 = none): a frame
+	// table never exceeds 2^31 entries, and halving the link width halves
+	// the memory cleared on machine construction and touched by list walks.
+	next []int32
+	prev []int32
+
+	// zeroBits holds the per-frame "content is all-zero" bit (bit i of word
+	// i/64 = frame i). Buddy blocks are order-aligned, so any block of 64+
+	// frames covers whole words and smaller blocks sit inside one word —
+	// zero checks over blocks collapse to full-word compares and masks.
+	zeroBits []uint64
 
 	// heads[order][class], class 0 = zero list, 1 = non-zero list.
 	heads  [MaxOrder + 1][2]FrameID
@@ -82,17 +92,21 @@ func NewAllocator(totalBytes Bytes) *Allocator {
 	pages := Pages(totalBytes/blockBytes) * (1 << MaxOrder)
 	a := &Allocator{
 		frames:     make([]frame, pages),
-		next:       make([]FrameID, pages),
-		prev:       make([]FrameID, pages),
+		next:       make([]int32, pages),
+		prev:       make([]int32, pages),
+		zeroBits:   make([]uint64, pages/64),
 		totalPages: pages,
+		// Pre-size the page-cache LIFO for the fragmentation experiments,
+		// which push every frame of the machine through it.
+		fileLIFO: make([]FrameID, 0, int(pages)),
 	}
 	for o := 0; o <= MaxOrder; o++ {
 		a.heads[o][classZero] = NoFrame
 		a.heads[o][classNonZero] = NoFrame
 	}
 	// Fresh machine memory is treated as zeroed.
-	for i := range a.frames {
-		a.frames[i].zeroed = true
+	for i := range a.zeroBits {
+		a.zeroBits[i] = ^uint64(0)
 	}
 	for head := FrameID(0); head < FrameID(pages); head += 1 << MaxOrder {
 		a.insertFree(head, MaxOrder)
@@ -143,15 +157,80 @@ func (a *Allocator) FreeBlocksAtLeast(order int) int64 {
 	return n
 }
 
+// frameZeroed reports the content bit of one frame.
+func (a *Allocator) frameZeroed(id FrameID) bool {
+	return a.zeroBits[id>>6]&(1<<(uint64(id)&63)) != 0
+}
+
+func (a *Allocator) setFrameZeroed(id FrameID)   { a.zeroBits[id>>6] |= 1 << (uint64(id) & 63) }
+func (a *Allocator) clearFrameZeroed(id FrameID) { a.zeroBits[id>>6] &^= 1 << (uint64(id) & 63) }
+
+// blockMask returns the zeroBits word range [lo, hi) covered by a block of
+// 64 or more frames. Blocks under 64 frames use blockBits instead.
+func (a *Allocator) blockWords(head FrameID, order int) (lo, hi FrameID) {
+	return head >> 6, (head + FrameID(1)<<order) >> 6
+}
+
+// blockBits returns the single-word mask of a block smaller than 64 frames.
+// Buddy alignment guarantees such a block never straddles a word.
+func blockBits(head FrameID, order int) (word FrameID, mask uint64) {
+	n := uint64(1) << order
+	return head >> 6, (uint64(1)<<n - 1) << (uint64(head) & 63)
+}
+
 // blockAllZero reports whether every frame in the block has zero content.
 func (a *Allocator) blockAllZero(head FrameID, order int) bool {
-	n := FrameID(1) << order
-	for i := FrameID(0); i < n; i++ {
-		if !a.frames[head+i].zeroed {
+	if order < 6 {
+		word, mask := blockBits(head, order)
+		return a.zeroBits[word]&mask == mask
+	}
+	lo, hi := a.blockWords(head, order)
+	for w := lo; w < hi; w++ {
+		if a.zeroBits[w] != ^uint64(0) {
 			return false
 		}
 	}
 	return true
+}
+
+// countBlockZero counts zero-content frames in the block.
+func (a *Allocator) countBlockZero(head FrameID, order int) int64 {
+	if order < 6 {
+		word, mask := blockBits(head, order)
+		return int64(bits.OnesCount64(a.zeroBits[word] & mask))
+	}
+	lo, hi := a.blockWords(head, order)
+	var n int64
+	for w := lo; w < hi; w++ {
+		n += int64(bits.OnesCount64(a.zeroBits[w]))
+	}
+	return n
+}
+
+// clearBlockZero marks every frame of the block non-zero.
+func (a *Allocator) clearBlockZero(head FrameID, order int) {
+	if order < 6 {
+		word, mask := blockBits(head, order)
+		a.zeroBits[word] &^= mask
+		return
+	}
+	lo, hi := a.blockWords(head, order)
+	for w := lo; w < hi; w++ {
+		a.zeroBits[w] = 0
+	}
+}
+
+// setBlockZero marks every frame of the block zero-content.
+func (a *Allocator) setBlockZero(head FrameID, order int) {
+	if order < 6 {
+		word, mask := blockBits(head, order)
+		a.zeroBits[word] |= mask
+		return
+	}
+	lo, hi := a.blockWords(head, order)
+	for w := lo; w < hi; w++ {
+		a.zeroBits[w] = ^uint64(0)
+	}
 }
 
 // insertFree links a block onto the zero or non-zero free list. The class is
@@ -168,10 +247,10 @@ func (a *Allocator) insertFree(head FrameID, order int) {
 	f.freeHead = true
 	f.order = uint8(order)
 	f.freeClass = uint8(cls)
-	a.next[head] = a.heads[order][cls]
-	a.prev[head] = NoFrame
+	a.next[head] = int32(a.heads[order][cls])
+	a.prev[head] = -1
 	if a.heads[order][cls] != NoFrame {
-		a.prev[a.heads[order][cls]] = head
+		a.prev[a.heads[order][cls]] = int32(head)
 	}
 	a.heads[order][cls] = head
 	a.counts[order][cls]++
@@ -182,12 +261,12 @@ func (a *Allocator) unlinkFree(head FrameID) {
 	f := &a.frames[head]
 	order := int(f.order)
 	cls := int(f.freeClass)
-	if a.prev[head] != NoFrame {
+	if a.prev[head] != -1 {
 		a.next[a.prev[head]] = a.next[head]
 	} else {
-		a.heads[order][cls] = a.next[head]
+		a.heads[order][cls] = FrameID(a.next[head])
 	}
-	if a.next[head] != NoFrame {
+	if a.next[head] != -1 {
 		a.prev[a.next[head]] = a.prev[head]
 	}
 	f.freeHead = false
@@ -288,10 +367,8 @@ func (a *Allocator) commitAlloc(head FrameID, order int, tag Tag) {
 		f := &a.frames[head+i]
 		f.tag = tag
 		f.freeHead = false
-		if f.zeroed {
-			a.zeroFreePages--
-		}
 	}
+	a.zeroFreePages -= Pages(a.countBlockZero(head, order))
 	a.freePages -= Pages(n)
 	if alloc := a.totalPages - a.freePages; alloc > a.peakAllocated {
 		a.peakAllocated = alloc
@@ -328,13 +405,12 @@ func (a *Allocator) Free(head FrameID, order int, dirty bool) {
 			// means an accounting bug.
 			panic(fmt.Sprintf("mem: Free spans tags %v and %v", tag, f.tag))
 		}
-		if dirty {
-			f.zeroed = false
-		}
-		if f.zeroed {
-			a.zeroFreePages++
-		}
 		f.tag = TagFree
+	}
+	if dirty {
+		a.clearBlockZero(head, order)
+	} else {
+		a.zeroFreePages += Pages(a.countBlockZero(head, order))
 	}
 	a.tagPages[tag] -= Pages(n)
 	a.freePages += Pages(n)
@@ -359,6 +435,90 @@ func (a *Allocator) coalesce(head FrameID, order int) {
 		order++
 	}
 	a.insertFree(head, order)
+}
+
+// DrainAllFile allocates every free page as page cache (TagFile), returning
+// the frames in exactly the order that repeated Alloc(0, PreferNonZero,
+// TagFile) calls would return them until ErrOutOfMemory. The fragmentation
+// experiments drain the whole machine this way, so the per-page free-list
+// surgery and accounting of the generic path are replaced here by one
+// simulation over per-(order,class) stacks (the free lists are LIFO, so a
+// stack models them exactly) and whole-drain bookkeeping at the end.
+func (a *Allocator) DrainAllFile() []FrameID {
+	if a.freePages == 0 {
+		return nil
+	}
+	// Seed the stacks from the live free lists: the stack top (end of the
+	// slice) must be the list head, so each walked list is reversed.
+	var stacks [MaxOrder + 1][2][]FrameID
+	for o := 0; o <= MaxOrder; o++ {
+		for cls := 0; cls < 2; cls++ {
+			var list []FrameID
+			for h := a.heads[o][cls]; h != NoFrame; h = FrameID(a.next[h]) {
+				list = append(list, h)
+			}
+			for i, j := 0, len(list)-1; i < j; i, j = i+1, j-1 {
+				list[i], list[j] = list[j], list[i]
+			}
+			stacks[o][cls] = list
+		}
+	}
+	out := make([]FrameID, 0, int(a.freePages))
+	for {
+		// Mirror tryAlloc's search order for PreferNonZero: per order, the
+		// non-zero class before the zero class.
+		found := false
+	scan:
+		for o := 0; o <= MaxOrder; o++ {
+			for _, cls := range [2]int{classNonZero, classZero} {
+				s := stacks[o][cls]
+				if len(s) == 0 {
+					continue
+				}
+				h := s[len(s)-1]
+				stacks[o][cls] = s[:len(s)-1]
+				// Split down to order 0, pushing each buddy onto the stack
+				// insertFree would have pushed it onto (class derived from
+				// content, exactly as insertFree derives it).
+				for cur := o; cur > 0; cur-- {
+					buddy := h + FrameID(1)<<(cur-1)
+					bcls := classNonZero
+					if a.blockAllZero(buddy, cur-1) {
+						bcls = classZero
+					}
+					stacks[cur-1][bcls] = append(stacks[cur-1][bcls], buddy)
+				}
+				out = append(out, h)
+				found = true
+				break scan
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	// Whole-drain bookkeeping: every frame that was free is now allocated
+	// page cache; the free lists are empty. Stale order/freeClass metadata
+	// on former split buddies is fine — those fields are only read while
+	// freeHead is set, and insertFree rewrites them on the next free.
+	for i := range a.frames {
+		if a.frames[i].tag == TagFree {
+			a.frames[i].tag = TagFile
+			a.frames[i].freeHead = false
+		}
+	}
+	for o := 0; o <= MaxOrder; o++ {
+		for cls := 0; cls < 2; cls++ {
+			a.heads[o][cls] = NoFrame
+			a.counts[o][cls] = 0
+		}
+	}
+	a.tagPages[TagFile] += a.freePages
+	a.freePages = 0
+	a.zeroFreePages = 0
+	a.peakAllocated = a.totalPages
+	a.fileLIFO = append(a.fileLIFO, out...)
+	return out
 }
 
 // reclaimFile drops up to n page-cache frames (LIFO), freeing them dirty.
@@ -396,14 +556,14 @@ func (a *Allocator) FileCachePages() Pages { return a.tagPages[TagFile] }
 func (a *Allocator) FrameTag(id FrameID) Tag { return a.frames[id].tag }
 
 // FrameZeroed reports whether the frame content is known all-zero.
-func (a *Allocator) FrameZeroed(id FrameID) bool { return a.frames[id].zeroed }
+func (a *Allocator) FrameZeroed(id FrameID) bool { return a.frameZeroed(id) }
 
 // MarkDirty records that an allocated frame's content is no longer zero.
-func (a *Allocator) MarkDirty(id FrameID) { a.frames[id].zeroed = false }
+func (a *Allocator) MarkDirty(id FrameID) { a.clearFrameZeroed(id) }
 
 // MarkZeroed records that an allocated frame's content is all-zero (e.g.
 // after explicit clearing by the fault handler).
-func (a *Allocator) MarkZeroed(id FrameID) { a.frames[id].zeroed = true }
+func (a *Allocator) MarkZeroed(id FrameID) { a.setFrameZeroed(id) }
 
 // CheckConsistency validates allocator invariants: free-list contents must
 // sum to freePages, per-frame zero bits to zeroFreePages, and every linked
@@ -415,7 +575,7 @@ func (a *Allocator) CheckConsistency() string {
 	for o := 0; o <= MaxOrder; o++ {
 		for cls := 0; cls < 2; cls++ {
 			count := int64(0)
-			for head := a.heads[o][cls]; head != NoFrame; head = a.next[head] {
+			for head := a.heads[o][cls]; head != NoFrame; head = FrameID(a.next[head]) {
 				f := &a.frames[head]
 				if f.tag != TagFree || !f.freeHead || int(f.order) != o || int(f.freeClass) != cls {
 					return fmt.Sprintf("list (o=%d,cls=%d) holds bad head %d: %+v", o, cls, head, *f)
@@ -438,7 +598,7 @@ func (a *Allocator) CheckConsistency() string {
 	for i := range a.frames {
 		if a.frames[i].tag == TagFree {
 			free++
-			if a.frames[i].zeroed {
+			if a.frameZeroed(FrameID(i)) {
 				zeroFree++
 			}
 		}

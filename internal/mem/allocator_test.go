@@ -371,7 +371,7 @@ func TestInvariantFreeAccounting(t *testing.T) {
 func TestPropertyFreeOrderIndependence(t *testing.T) {
 	f := func(seed uint64) bool {
 		a := NewAllocator(8 << 20)
-		r := sim.NewRand(seed)
+		r := sim.NewRand(uint64(seed))
 		var blocks []Block
 		for {
 			blk, err := a.Alloc(r.Intn(4), PreferZero, TagAnon)
@@ -414,6 +414,84 @@ func TestTagString(t *testing.T) {
 	for tag, want := range map[Tag]string{TagFree: "free", TagAnon: "anon", TagFile: "file", TagKernel: "kernel", TagZero: "zero", Tag(9): "tag(9)"} {
 		if got := tag.String(); got != want {
 			t.Errorf("Tag(%d).String() = %q, want %q", tag, got, want)
+		}
+	}
+}
+
+// TestDrainAllFileMatchesLoop checks that the bulk drain emits exactly the
+// frame sequence the generic page-by-page allocation loop produces, and
+// leaves the allocator in the same observable state — across allocators
+// pre-churned with identical random alloc/free histories.
+func TestDrainAllFileMatchesLoop(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		churn := func(a *Allocator) []Block {
+			r := sim.NewRand(uint64(seed))
+			var live []Block
+			for i := 0; i < 400; i++ {
+				if r.Float64() < 0.6 {
+					order := r.Intn(HugeOrder + 1)
+					pref := PreferZero
+					if r.Float64() < 0.5 {
+						pref = PreferNonZero
+					}
+					if blk, ok := a.AllocOpportunistic(order, pref, TagAnon); ok {
+						if r.Float64() < 0.3 {
+							a.MarkDirty(blk.Head)
+						}
+						live = append(live, blk)
+					}
+				} else if len(live) > 0 {
+					i := r.Intn(len(live))
+					blk := live[i]
+					a.Free(blk.Head, blk.Order, r.Float64() < 0.5)
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+				}
+			}
+			return live
+		}
+		byLoop := NewAllocator(64 << 20)
+		byBulk := NewAllocator(64 << 20)
+		churn(byLoop)
+		churn(byBulk)
+
+		var want []FrameID
+		for {
+			blk, err := byLoop.Alloc(0, PreferNonZero, TagFile)
+			if err != nil {
+				break
+			}
+			want = append(want, blk.Head)
+		}
+		got := byBulk.DrainAllFile()
+
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: drained %d frames, loop allocated %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: emission %d: bulk %d, loop %d", seed, i, got[i], want[i])
+			}
+		}
+		if msg := byBulk.CheckConsistency(); msg != "" {
+			t.Fatalf("seed %d: bulk drain left inconsistent allocator: %s", seed, msg)
+		}
+		if byBulk.FreePages() != byLoop.FreePages() || byBulk.ZeroFreePages() != byLoop.ZeroFreePages() ||
+			byBulk.TagPages(TagFile) != byLoop.TagPages(TagFile) || byBulk.PeakAllocated() != byLoop.PeakAllocated() {
+			t.Fatalf("seed %d: counter mismatch after drain", seed)
+		}
+		for f := FrameID(0); f < FrameID(byBulk.TotalPages()); f++ {
+			if byBulk.FrameTag(f) != byLoop.FrameTag(f) || byBulk.FrameZeroed(f) != byLoop.FrameZeroed(f) {
+				t.Fatalf("seed %d: frame %d state mismatch: tag %v/%v zero %v/%v",
+					seed, f, byBulk.FrameTag(f), byLoop.FrameTag(f), byBulk.FrameZeroed(f), byLoop.FrameZeroed(f))
+			}
+		}
+		// The drained allocators must also behave identically afterwards:
+		// reclaim pressure pops the same page-cache frames.
+		ba, e1 := byBulk.Alloc(0, PreferZero, TagAnon)
+		la, e2 := byLoop.Alloc(0, PreferZero, TagAnon)
+		if (e1 == nil) != (e2 == nil) || (e1 == nil && ba.Head != la.Head) {
+			t.Fatalf("seed %d: post-drain allocation diverged", seed)
 		}
 	}
 }

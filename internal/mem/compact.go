@@ -96,10 +96,14 @@ func (a *Allocator) evacuate(base, n FrameID) bool {
 		}
 		// The destination inherits the source's content state; the stale
 		// source is treated as dirty.
-		a.frames[blk.Head].zeroed = a.frames[i].zeroed
+		if a.frameZeroed(i) {
+			a.setFrameZeroed(blk.Head)
+		} else {
+			a.clearFrameZeroed(blk.Head)
+		}
 		src := &a.frames[i]
 		src.tag = TagFree
-		src.zeroed = false
+		a.clearFrameZeroed(i)
 		a.tagPages[TagAnon]--
 		a.freePages++
 		a.MovedFrames++

@@ -63,9 +63,10 @@ func (t Tag) String() string {
 }
 
 // frame is the per-frame metadata. Kept small: one entry per simulated 4 KB.
+// The per-frame "content is all-zero" bit lives in the allocator's zeroBits
+// bitmap rather than here, so block-granular zero checks are word operations.
 type frame struct {
 	tag       Tag
-	zeroed    bool  // content is all-zero (valid whether free or allocated)
 	order     uint8 // when head of a free block: its order
 	freeHead  bool  // head of a free buddy block
 	freeClass uint8 // when head of a free block: which split list it is on

@@ -63,14 +63,10 @@ func (a *Allocator) PopNonZeroBlockUpTo(maxOrder int) (head FrameID, order int, 
 // after its contents have been cleared. It updates per-frame content bits
 // and the zero-page accounting.
 func (a *Allocator) InsertZeroBlock(head FrameID, order int) {
-	n := FrameID(1) << order
-	for i := FrameID(0); i < n; i++ {
-		f := &a.frames[head+i]
-		if !f.zeroed {
-			f.zeroed = true
-			a.zeroFreePages++
-		}
-	}
+	n := int64(1) << order
+	already := a.countBlockZero(head, order)
+	a.setBlockZero(head, order)
+	a.zeroFreePages += Pages(n - already)
 	a.coalesce(head, order)
 }
 

@@ -89,12 +89,15 @@ type Tier0Bench struct {
 	Setup func() func()
 }
 
-// Tier0Benchmarks returns the guarded set: the kernel touch path, TLB
-// translation, the access-bit scan, and two full quick experiment runs.
+// Tier0Benchmarks returns the guarded set: the kernel touch paths (scalar
+// and batched), TLB translation (scalar and batched), the access-bit scan,
+// and two full quick experiment runs.
 func Tier0Benchmarks() []Tier0Bench {
 	return []Tier0Bench{
 		{Name: "touch", Iters: 2_000_000, Reps: 3, Setup: setupTouch},
+		{Name: "touch_run", Iters: 2_000_000, Reps: 3, Setup: setupTouchRun},
 		{Name: "tlb_access", Iters: 1_000_000, Reps: 3, Setup: setupTLBAccess},
+		{Name: "tlb_access_run", Iters: 1_000_000, Reps: 3, Setup: setupTLBAccessRun},
 		{Name: "access_scan", Iters: 1_000_000, Reps: 3, Setup: setupAccessScan},
 		{Name: "fig5_quick", Iters: 1, Reps: 2, Tolerance: 0.30, Setup: setupExperiment("fig5")},
 		{Name: "table3_quick", Iters: 1, Reps: 2, Tolerance: 0.30, Setup: setupExperiment("table3")},
@@ -159,6 +162,32 @@ func setupTouch() func() {
 	}
 }
 
+// setupTouchRun exercises the batched dwell path (kernel.TouchRun): one
+// resolved probe on a settled mapping, closed-form repeat accounting, and
+// the TLB charge via AccessRun — the per-run body of the batched steady
+// loop.
+func setupTouchRun() func() {
+	cfg := kernel.DefaultConfig()
+	cfg.MemoryBytes = 256 << 20
+	k := kernel.New(cfg, nil)
+	p := k.Spawn("bench", nil)
+	const pages = 4 * mem.HugePages
+	for v := vmm.VPN(0); v < pages; v++ {
+		if _, err := k.Touch(p, v, false); err != nil {
+			panic(err)
+		}
+	}
+	prof := kernel.AccessProfile{Locality: 1, CyclesPerAccess: 250}
+	var i int
+	return func() {
+		run := kernel.AccessRun{Start: vmm.VPN(i & (pages - 1)), Count: 64}
+		if _, err := k.TouchRun(p, run, &prof); err != nil {
+			panic(err)
+		}
+		i++
+	}
+}
+
 // setupTLBAccess drives a random miss-heavy translation stream through the
 // two-level TLB (set indexing, LRU insertion, eviction).
 func setupTLBAccess() func() {
@@ -166,6 +195,17 @@ func setupTLBAccess() func() {
 	r := sim.NewRand(1)
 	return func() {
 		t.Access(1, r.Int63n(1<<22), false)
+	}
+}
+
+// setupTLBAccessRun drives the batched translation path: one scalar access
+// plus a closed-form repeat bump per run, interleaved with misses so both
+// the hit and fill sides of AccessRun stay exercised.
+func setupTLBAccessRun() func() {
+	t := tlb.New(tlb.HaswellEP())
+	r := sim.NewRand(1)
+	return func() {
+		t.AccessRun(1, r.Int63n(1<<22), false, 64)
 	}
 }
 

@@ -1,0 +1,50 @@
+package runner
+
+import (
+	"testing"
+
+	"hawkeye/internal/experiments"
+)
+
+// TestBatchedMatchesScalarGolden is the batched-pipeline equivalence gate:
+// every registered experiment runs twice in quick mode — once on the scalar
+// reference path (Options.Scalar) and once on the batched run-length
+// pipeline — and the rendered tables must be byte-identical. The batched
+// path earns its speedup purely by charging repeats in closed form, so any
+// divergence (an RNG draw out of order, a TLB tick miscounted, a float
+// summed in a different order) is a bug, not noise.
+func TestBatchedMatchesScalarGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment twice; skipped in -short")
+	}
+	if raceEnabled {
+		// The comparison is about deterministic output equality, which race
+		// instrumentation cannot affect; under -race the double full run
+		// blows the package test timeout without adding coverage (the race
+		// suite still executes every experiment via the parallel-runner
+		// tests).
+		t.Skip("skipped under -race: ~10x slower and race-insensitive by construction")
+	}
+	ids := experiments.IDs()
+	opts := testOpts()
+
+	scalarOpts := opts
+	scalarOpts.Scalar = true
+	scalar := make(map[string]string, len(ids))
+	for _, res := range Run(ids, scalarOpts, 0) {
+		if res.Error != "" {
+			t.Fatalf("scalar %s: %s", res.ID, res.Error)
+		}
+		scalar[res.ID] = res.Table
+	}
+
+	for _, res := range Run(ids, opts, 0) {
+		if res.Error != "" {
+			t.Fatalf("batched %s: %s", res.ID, res.Error)
+		}
+		if res.Table != scalar[res.ID] {
+			t.Errorf("%s: batched output differs from scalar reference\nscalar:\n%s\nbatched:\n%s",
+				res.ID, scalar[res.ID], res.Table)
+		}
+	}
+}

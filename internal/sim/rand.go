@@ -103,6 +103,51 @@ func (r *Rand) Geometric(mean float64, max int) int {
 	return x
 }
 
+// GeometricTable precomputes the threshold sequence of Geometric for a
+// fixed (mean, max), replacing the per-draw chain of float multiplies with
+// a table scan. Draw(r) consumes exactly one Float64 and returns exactly
+// the value Geometric(mean, max) would, bit for bit: the table holds the
+// same acc = q, q², q³, ... sequence the iterative loop computes (the
+// entries stop where acc underflows to zero, past which the loop cannot
+// advance for any u > 0).
+type GeometricTable struct {
+	acc      []float64
+	drawless bool // mean <= 0: Geometric returns 0 without consuming a draw
+}
+
+// NewGeometricTable builds the threshold table for Geometric(mean, max).
+func NewGeometricTable(mean float64, max int) *GeometricTable {
+	t := &GeometricTable{}
+	if mean <= 0 {
+		t.drawless = true
+		return t
+	}
+	p := 1.0 / (mean + 1.0)
+	q := 1 - p
+	acc := q
+	for x := 0; x < max && acc > 0; x++ {
+		t.acc = append(t.acc, acc)
+		acc *= q
+	}
+	return t
+}
+
+// Draw samples the precomputed distribution using r's stream.
+func (t *GeometricTable) Draw(r *Rand) int {
+	if t.drawless {
+		return 0
+	}
+	u := r.Float64()
+	if u == 0 {
+		u = 0.5
+	}
+	x := 0
+	for x < len(t.acc) && u < t.acc[x] {
+		x++
+	}
+	return x
+}
+
 // Shuffle permutes the first n elements using swap, Fisher–Yates style.
 func (r *Rand) Shuffle(n int, swap func(i, j int)) {
 	for i := n - 1; i > 0; i-- {

@@ -262,3 +262,23 @@ func TestSchedulingInPastPanics(t *testing.T) {
 	}()
 	e.At(Millisecond, "past", EventFunc(func(*Engine) error { return nil }))
 }
+
+func TestGeometricTableMatchesGeometric(t *testing.T) {
+	for _, mean := range []float64{0, 0.5, 2.0, 9.11, 64.0, 4000.0} {
+		for _, max := range []int{1, 7, 4095} {
+			a := NewRand(99)
+			b := NewRand(99)
+			tab := NewGeometricTable(mean, max)
+			for i := 0; i < 20000; i++ {
+				want := a.Geometric(mean, max)
+				got := tab.Draw(b)
+				if want != got {
+					t.Fatalf("mean=%v max=%d draw %d: Geometric=%d table=%d", mean, max, i, want, got)
+				}
+			}
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("mean=%v max=%d: streams desynchronized", mean, max)
+			}
+		}
+	}
+}

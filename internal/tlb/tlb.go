@@ -53,14 +53,43 @@ func HaswellEP() Config {
 	}
 }
 
-// entry is one TLB entry.
+// entry is one TLB entry, with the tag packed into a single word so a probe
+// compares one uint64 per way instead of four fields, and an entry is 16
+// bytes instead of 32 (four ways per cache line). A zero key is "invalid":
+// every valid key has the top bit set.
+//
+// Invariant: an invalid entry always has lru == 0, and a valid entry always
+// has lru >= 1 (the tick pre-increments before stamping). Victim selection
+// is therefore a single min-lru scan: among invalid entries the strict <
+// comparison picks the first one, and any invalid entry beats any valid
+// one — exactly the "first invalid, else least recently used" policy.
 type entry struct {
-	pid   int32
-	page  int64 // VPN for 4 KB entries, region index for 2 MB entries
-	huge  bool
-	valid bool
-	lru   uint64
+	key entryKey
+	lru uint64
 }
+
+// entryKey packs (valid, pid, huge, page) into one comparable word:
+// bit 63 = valid, bits 62..43 = pid, bit 42 = huge, bits 41..0 = page.
+type entryKey uint64
+
+func makeKey(pid int32, page int64, huge bool) entryKey {
+	if uint64(page) >= 1<<42 || uint32(pid) >= 1<<20 {
+		// 42 bits of page number cover 16 TiB of virtual address space per
+		// process and 20 bits one million processes — far beyond anything
+		// the simulator builds. Catch overflow loudly rather than alias.
+		panic("tlb: page or pid out of key range")
+	}
+	k := entryKey(1)<<63 | entryKey(pid)<<43 | entryKey(page)
+	if huge {
+		k |= 1 << 42
+	}
+	return k
+}
+
+func (k entryKey) valid() bool { return k != 0 }
+func (k entryKey) pid() int32  { return int32(k >> 43 & (1<<20 - 1)) }
+func (k entryKey) huge() bool  { return k&(1<<42) != 0 }
+func (k entryKey) page() int64 { return int64(k & (1<<42 - 1)) }
 
 // setAssoc is a set-associative array with LRU replacement. The set count is
 // always a power of two (like real TLB hardware), so indexing is a mask
@@ -100,25 +129,19 @@ func (s *setAssoc) setFor(page int64) []entry {
 
 // lookup probes without inserting.
 func (s *setAssoc) lookup(pid int32, page int64, huge bool) bool {
-	s.tick++
-	set := s.setFor(page)
-	for i := range set {
-		e := &set[i]
-		if e.valid && e.pid == pid && e.page == page && e.huge == huge {
-			e.lru = s.tick
-			return true
-		}
-	}
-	return false
+	hit, _ := s.probe(makeKey(pid, page, huge), page)
+	return hit
 }
 
-// insert fills the entry, evicting LRU.
+// insert fills the entry, evicting LRU. probe+fill is the fused equivalent;
+// this form stays for callers that already know the lookup missed.
 func (s *setAssoc) insert(pid int32, page int64, huge bool) {
 	s.tick++
+	key := makeKey(pid, page, huge)
 	set := s.setFor(page)
 	victim := 0
 	for i := range set {
-		if !set[i].valid {
+		if !set[i].key.valid() {
 			victim = i
 			break
 		}
@@ -126,7 +149,87 @@ func (s *setAssoc) insert(pid int32, page int64, huge bool) {
 			victim = i
 		}
 	}
-	set[victim] = entry{pid: pid, page: page, huge: huge, valid: true, lru: s.tick}
+	set[victim] = entry{key: key, lru: s.tick}
+}
+
+// probe is lookup fused with victim selection, answering the lookup and, on
+// a miss, reporting the slot a subsequent insert would evict. The victim is
+// valid as long as the set is not mutated between probe and fill, which
+// holds inside Access: the only array touched in between is a different
+// level of the hierarchy. Victim choice matches insert exactly — the
+// lru==0-when-invalid invariant (see entry) makes the min-lru scan pick the
+// first invalid entry when one exists.
+func (s *setAssoc) probe(key entryKey, page int64) (hit bool, victim int) {
+	s.tick++
+	if s.assoc == 4 {
+		idx := int(uint64(page)&s.mask) * 4
+		set := s.entries[idx : idx+4 : idx+4]
+		if set[0].key == key {
+			set[0].lru = s.tick
+			return true, 0
+		}
+		if set[1].key == key {
+			set[1].lru = s.tick
+			return true, 0
+		}
+		if set[2].key == key {
+			set[2].lru = s.tick
+			return true, 0
+		}
+		if set[3].key == key {
+			set[3].lru = s.tick
+			return true, 0
+		}
+		best := set[0].lru
+		if set[1].lru < best {
+			best, victim = set[1].lru, 1
+		}
+		if set[2].lru < best {
+			best, victim = set[2].lru, 2
+		}
+		if set[3].lru < best {
+			victim = 3
+		}
+		return false, victim
+	}
+	set := s.setFor(page)
+	bestLRU := ^uint64(0)
+	for i := range set {
+		e := &set[i]
+		if e.key == key {
+			e.lru = s.tick
+			return true, 0
+		}
+		if e.lru < bestLRU {
+			bestLRU = e.lru
+			victim = i
+		}
+	}
+	return false, victim
+}
+
+// fill installs the entry at the victim slot a prior probe chose, with the
+// same tick accounting insert performs.
+func (s *setAssoc) fill(victim int, key entryKey, page int64) {
+	s.tick++
+	set := s.setFor(page)
+	set[victim] = entry{key: key, lru: s.tick}
+}
+
+// touchRepeats applies n guaranteed L1 hits to an entry in closed form: n
+// scalar lookups would each advance the tick once and restamp the entry's
+// lru with it, leaving only the final stamp observable.
+func (s *setAssoc) touchRepeats(key entryKey, page int64, n int64) {
+	s.tick += uint64(n)
+	set := s.setFor(page)
+	for i := range set {
+		e := &set[i]
+		if e.key == key {
+			e.lru = s.tick
+			return
+		}
+	}
+	panic("tlb: touchRepeats on absent entry")
 }
 
 // invalidatePID drops every entry of a process. A specialized loop (rather
@@ -134,8 +237,9 @@ func (s *setAssoc) insert(pid int32, page int64, huge bool) {
 // branch-predictable — it runs on every process exit and large unmap.
 func (s *setAssoc) invalidatePID(pid int32) {
 	for i := range s.entries {
-		if s.entries[i].valid && s.entries[i].pid == pid {
-			s.entries[i].valid = false
+		k := s.entries[i].key
+		if k.valid() && k.pid() == pid {
+			s.entries[i] = entry{}
 		}
 	}
 }
@@ -144,16 +248,16 @@ func (s *setAssoc) invalidatePID(pid int32) {
 // its huge entries with page == region.
 func (s *setAssoc) invalidateRange(pid int32, lo, hi, region int64) {
 	for i := range s.entries {
-		e := &s.entries[i]
-		if !e.valid || e.pid != pid {
+		k := s.entries[i].key
+		if !k.valid() || k.pid() != pid {
 			continue
 		}
-		if e.huge {
-			if e.page == region {
-				e.valid = false
+		if k.huge() {
+			if k.page() == region {
+				s.entries[i] = entry{}
 			}
-		} else if e.page >= lo && e.page < hi {
-			e.valid = false
+		} else if p := k.page(); p >= lo && p < hi {
+			s.entries[i] = entry{}
 		}
 	}
 }
@@ -195,26 +299,55 @@ func New(cfg Config) *TLB {
 func (t *TLB) Config() Config { return t.cfg }
 
 // Access translates (pid, page) where page is a VPN for base mappings or a
-// region index for huge mappings, updating the hierarchy.
+// region index for huge mappings, updating the hierarchy. Probe and fill are
+// fused so each array is scanned once per access: the victim found during
+// the probe is the one insert would pick, because nothing mutates the array
+// between the two steps.
 func (t *TLB) Access(pid int32, page int64, huge bool) Outcome {
 	t.Lookups++
+	key := makeKey(pid, page, huge)
 	l1 := t.l1Base
 	if huge {
 		l1 = t.l1Huge
 	}
-	if l1.lookup(pid, page, huge) {
+	l1Hit, l1Victim := l1.probe(key, page)
+	if l1Hit {
 		t.L1Hits++
 		return HitL1
 	}
-	if t.l2.lookup(pid, page, huge) {
+	l2Hit, l2Victim := t.l2.probe(key, page)
+	if l2Hit {
 		t.L2Hits++
-		l1.insert(pid, page, huge)
+		l1.fill(l1Victim, key, page)
 		return HitL2
 	}
 	t.Misses++
-	l1.insert(pid, page, huge)
-	t.l2.insert(pid, page, huge)
+	l1.fill(l1Victim, key, page)
+	t.l2.fill(l2Victim, key, page)
 	return Miss
+}
+
+// AccessRun translates count back-to-back accesses to the same (pid, page):
+// the first goes through the full hierarchy like Access; the remaining
+// count-1 repeats are then guaranteed L1 hits — the entry was just installed
+// or refreshed and nothing can evict it in between — so their effect on the
+// LRU state and the counters is applied in closed form. The resulting TLB
+// state and counters are bit-identical to count scalar Access calls. It
+// returns the first access's outcome and the number of closed-form repeats.
+func (t *TLB) AccessRun(pid int32, page int64, huge bool, count int64) (first Outcome, repeats int64) {
+	first = t.Access(pid, page, huge)
+	repeats = count - 1
+	if repeats <= 0 {
+		return first, 0
+	}
+	l1 := t.l1Base
+	if huge {
+		l1 = t.l1Huge
+	}
+	l1.touchRepeats(makeKey(pid, page, huge), page, repeats)
+	t.Lookups += repeats
+	t.L1Hits += repeats
+	return first, repeats
 }
 
 // MissRate reports misses/lookups so far.

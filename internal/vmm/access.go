@@ -26,11 +26,44 @@ const (
 // dirty bits and updates modelled page contents on writes. It does not
 // resolve faults; callers route TouchFault/TouchCOW to the fault handler.
 func (v *VMM) Access(p *Process, vpn VPN, write bool) TouchResult {
-	r := p.regions[RegionOf(vpn)]
+	r := p.region(RegionOf(vpn))
 	if r == nil {
 		return TouchFault
 	}
-	slot := SlotOf(vpn)
+	return v.AccessResolved(r, SlotOf(vpn), write)
+}
+
+// AccessCached is Access through the process's software translation cache
+// (ResolvePTE): identical state effects, with the region-map lookup and slot
+// arithmetic amortized across repeated accesses to the same page — the shape
+// the batched pipeline produces.
+func (v *VMM) AccessCached(p *Process, vpn VPN, write bool) TouchResult {
+	r, e := p.ResolvePTE(vpn)
+	if r == nil {
+		return TouchFault
+	}
+	if r.Huge {
+		return v.AccessResolved(r, SlotOf(vpn), write)
+	}
+	if !e.Present() {
+		return TouchFault
+	}
+	if write && e.COW() {
+		return TouchCOW
+	}
+	w, m := bitOf(SlotOf(vpn))
+	r.accessed[w] |= m
+	if write {
+		r.dirty[w] |= m
+		v.Content.Write(e.Frame)
+		v.Alloc.MarkDirty(e.Frame)
+	}
+	return TouchOK
+}
+
+// AccessResolved is Access with the region already resolved — the per-access
+// body shared by the scalar and batched paths.
+func (v *VMM) AccessResolved(r *Region, slot int, write bool) TouchResult {
 	if r.Huge {
 		r.hugeFlags |= pteAccessed
 		if write {
@@ -58,10 +91,32 @@ func (v *VMM) Access(p *Process, vpn VPN, write bool) TouchResult {
 	return TouchOK
 }
 
+// AccessRepeat applies the residual MMU effects of n re-touches of an
+// already-settled mapping. Read repeats are fully absorbed by the first
+// access (the access bit is already set), so only write repeats do work:
+// each one must replay the content-store write — Write consumes the store's
+// RNG stream, so skipping it would desynchronize modelled page contents from
+// the scalar path — and the (idempotent) dirty marking.
+func (v *VMM) AccessRepeat(r *Region, slot int, write bool, n int) {
+	if !write || n <= 0 {
+		return
+	}
+	var frame mem.FrameID
+	if r.Huge {
+		frame = r.HugeFrame + mem.FrameID(slot)
+	} else {
+		frame = r.PTEs[slot].Frame
+	}
+	for j := 0; j < n; j++ {
+		v.Content.Write(frame)
+		v.Alloc.MarkDirty(frame)
+	}
+}
+
 // AccessShared is Access for writes of logically shared data (same key ⇒
 // identical page content, KSM-mergeable). Reads behave exactly like Access.
 func (v *VMM) AccessShared(p *Process, vpn VPN, key uint64) TouchResult {
-	r := p.regions[RegionOf(vpn)]
+	r := p.region(RegionOf(vpn))
 	if r == nil {
 		return TouchFault
 	}

@@ -75,7 +75,7 @@ func (v *VMM) PromoteInPlace(p *Process, r *Region) {
 			panic("vmm: reservation PTEs not in place")
 		}
 		// Clear without freeing: frames stay, mapping granularity changes.
-		delete(v.rmap, e.Frame)
+		v.rmap[e.Frame] = mapping{}
 		e.Frame = mem.NoFrame
 		e.Flags = 0
 	}
@@ -226,7 +226,7 @@ func (v *VMM) DontNeed(p *Process, start VPN, pages mem.Pages) mem.Pages {
 	released := mem.Pages(0)
 	end := start.Advance(pages)
 	for vpn := start; vpn < end; {
-		r := p.regions[RegionOf(vpn)]
+		r := p.region(RegionOf(vpn))
 		regionEnd := RegionOf(vpn).BaseVPN() + mem.HugePages
 		if r == nil {
 			vpn = regionEnd

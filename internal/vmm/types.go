@@ -153,19 +153,27 @@ func (r *Region) clearSlotBitmaps() {
 	r.dirty = [bitmapWords]uint64{}
 }
 
-// mappingKind discriminates reverse-mapping entries.
+// mappingKind discriminates reverse-mapping entries. mapNone is the zero
+// value so an all-zero mapping struct means "no entry" — the reverse map is
+// a flat per-frame table, and clearing a slot is writing the zero value.
 type mappingKind uint8
 
 const (
-	mapBase mappingKind = iota
+	mapNone mappingKind = iota
+	mapBase
 	mapHuge
 )
 
 // mapping is one reverse-map entry: which process/region/slot references a
-// frame.
+// frame. It is deliberately pointer-free — the reverse map is one entry per
+// physical frame, and keeping it opaque to the garbage collector means the
+// largest table in a machine is neither scanned by GC nor cleared word-by
+// pointer-word at construction. Owners are stored as a PID plus region
+// index and resolved through the VMM's PID table and the process's dense
+// region table on the (rare) migration/merge paths that read entries.
 type mapping struct {
-	proc *Process
-	reg  *Region
+	reg  RegionIndex
+	pid  int32
 	slot int16 // base slot, or -1 for a huge mapping
 	kind mappingKind
 }

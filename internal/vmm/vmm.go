@@ -32,7 +32,27 @@ type Process struct {
 	vmm        *VMM
 	regions    map[RegionIndex]*Region
 	order      []RegionIndex // sorted region indices, maintained lazily
+	ordered    []*Region     // cached RegionsInOrder result, rebuilt when dirty
 	dirtyOrder bool
+
+	// dense is a direct-indexed mirror of regions for indices below
+	// denseLimit. Workloads place their heaps at low virtual addresses, so
+	// in practice every address-stream lookup is an array load instead of
+	// a map probe; exotic indices fall back to the map.
+	dense []*Region
+
+	// Software translation cache for the batched touch path: the last
+	// region resolved and the last base PTE located through it. Region
+	// pointers are stable for the life of the process (regions are only
+	// ever added, never removed, until Exit rebuilds the map), and PTE
+	// pointers address a fixed array inside the region, so both stay valid
+	// until Exit clears them; present/COW/swap state is re-read through the
+	// pointer on every use, so the cache can never serve stale *state*,
+	// only save the map lookup.
+	lastIdx    RegionIndex
+	lastRegion *Region
+	lastVPN    VPN
+	lastPTE    *PTE
 
 	rss        mem.Pages   // pages charged to RSS
 	hugeMapped mem.Regions // current huge mappings
@@ -51,8 +71,11 @@ type VMM struct {
 
 	// rmap holds the single private owner of a frame (base frames and huge
 	// block heads). Shared frames (canonical zero page, KSM pages) are
-	// reference-counted in refs instead and are not movable.
-	rmap map[mem.FrameID]mapping
+	// reference-counted in refs instead and are not movable. Frames are
+	// dense small integers, so the map is a flat per-frame table (entry
+	// kind mapNone = no owner) — MapBase/UnmapBase are on the fault hot
+	// path and a slice index beats a hash on every operation.
+	rmap []mapping
 	refs map[mem.FrameID]int32
 
 	// ZeroFrame is the canonical all-zero page that COW zero mappings and
@@ -70,7 +93,7 @@ func New(alloc *mem.Allocator, store *content.Store) *VMM {
 	v := &VMM{
 		Alloc:   alloc,
 		Content: store,
-		rmap:    make(map[mem.FrameID]mapping),
+		rmap:    make([]mapping, alloc.TotalPages()),
 		refs:    make(map[mem.FrameID]int32),
 	}
 	blk, err := alloc.Alloc(0, mem.PreferZero, mem.TagKernel)
@@ -116,37 +139,108 @@ func (p *Process) RSSBytes() mem.Bytes { return p.rss.Bytes() }
 // HugeMapped reports the number of live huge mappings.
 func (p *Process) HugeMapped() mem.Regions { return p.hugeMapped }
 
+// denseLimit bounds the direct-indexed region table: indices below it live
+// in the dense slice (at most 8 MiB of pointers when fully grown), above it
+// in the map. 2^20 regions cover 2 TiB of low virtual address space.
+const denseLimit = 1 << 20
+
 // Region returns the region with the given index, or nil.
-func (p *Process) Region(idx RegionIndex) *Region { return p.regions[idx] }
+func (p *Process) Region(idx RegionIndex) *Region { return p.region(idx) }
+
+// region resolves an index through the dense table first. A dense slot can
+// be nil (never created) and an index beyond the table's current length but
+// below denseLimit is necessarily absent, because EnsureRegion grows the
+// table on every create in that range.
+func (p *Process) region(idx RegionIndex) *Region {
+	if idx >= 0 && idx < denseLimit {
+		if int64(idx) < int64(len(p.dense)) {
+			return p.dense[idx]
+		}
+		return nil
+	}
+	return p.regions[idx]
+}
 
 // EnsureRegion returns the region, creating it if absent.
 func (p *Process) EnsureRegion(idx RegionIndex) *Region {
-	r, ok := p.regions[idx]
-	if !ok {
-		r = &Region{Index: idx}
-		for i := range r.PTEs {
-			r.PTEs[i].Frame = mem.NoFrame
-		}
-		r.HugeFrame = mem.NoFrame
-		p.regions[idx] = r
-		p.order = append(p.order, idx)
-		p.dirtyOrder = true
+	if r := p.region(idx); r != nil {
+		return r
 	}
+	r := &Region{Index: idx}
+	for i := range r.PTEs {
+		r.PTEs[i].Frame = mem.NoFrame
+	}
+	r.HugeFrame = mem.NoFrame
+	p.regions[idx] = r
+	if idx >= 0 && idx < denseLimit {
+		if n := int(idx) + 1; n > len(p.dense) {
+			if n <= cap(p.dense) {
+				p.dense = p.dense[:n]
+			} else {
+				grown := make([]*Region, n, 2*n)
+				copy(grown, p.dense)
+				p.dense = grown
+			}
+		}
+		p.dense[idx] = r
+	}
+	p.order = append(p.order, idx)
+	p.dirtyOrder = true
 	return r
 }
 
 // RegionsInOrder returns the process's regions sorted by virtual address —
-// the scan order Linux's khugepaged and Ingens use.
+// the scan order Linux's khugepaged and Ingens use. The returned slice is
+// cached on the process and reused until the region set changes; callers
+// must treat it as read-only and must not hold it across region creation or
+// process exit. Every daemon sweep (swap, KSM, Ingens, HawkEye) calls this,
+// so rebuilding it per call dominated their cost.
 func (p *Process) RegionsInOrder() []*Region {
 	if p.dirtyOrder {
 		sort.Slice(p.order, func(i, j int) bool { return p.order[i] < p.order[j] })
+		p.ordered = p.ordered[:0]
+		for _, idx := range p.order {
+			p.ordered = append(p.ordered, p.regions[idx])
+		}
 		p.dirtyOrder = false
 	}
-	out := make([]*Region, 0, len(p.order))
-	for _, idx := range p.order {
-		out = append(out, p.regions[idx])
+	return p.ordered
+}
+
+// ResolveRegion returns the region covering vpn (nil if absent), consulting
+// the one-entry software translation cache first. The cache saves the map
+// lookup on the repeat- and stride-heavy batched access path; it is cleared
+// on Exit, the only operation that invalidates region pointers.
+func (p *Process) ResolveRegion(vpn VPN) *Region {
+	idx := RegionOf(vpn)
+	if p.lastRegion != nil && p.lastIdx == idx {
+		return p.lastRegion
 	}
-	return out
+	r := p.region(idx)
+	if r != nil {
+		p.lastIdx, p.lastRegion = idx, r
+		p.lastPTE = nil
+	}
+	return r
+}
+
+// ResolvePTE resolves vpn through the translation cache to its region and,
+// for base-mapped regions, its PTE pointer (nil for absent or huge-mapped
+// regions). The PTE pointer addresses a fixed array inside the region and so
+// stays valid until Exit; presence/COW flags are re-read through it on every
+// use, and the huge flag is re-checked here, so granularity changes between
+// quanta (promotion/demotion) cannot be masked by the cache.
+func (p *Process) ResolvePTE(vpn VPN) (*Region, *PTE) {
+	if p.lastPTE != nil && p.lastVPN == vpn && !p.lastRegion.Huge {
+		return p.lastRegion, p.lastPTE
+	}
+	r := p.ResolveRegion(vpn)
+	if r == nil || r.Huge {
+		return r, nil
+	}
+	p.lastVPN = vpn
+	p.lastPTE = &r.PTEs[SlotOf(vpn)]
+	return r, p.lastPTE
 }
 
 // RegionCount reports the number of regions that exist.
@@ -154,7 +248,7 @@ func (p *Process) RegionCount() int { return len(p.regions) }
 
 // Lookup resolves a VPN to its mapping state.
 func (p *Process) Lookup(vpn VPN) (pte PTE, huge bool, present bool) {
-	r := p.regions[RegionOf(vpn)]
+	r := p.region(RegionOf(vpn))
 	if r == nil {
 		return PTE{Frame: mem.NoFrame}, false, false
 	}
@@ -182,7 +276,7 @@ func (v *VMM) MapBase(p *Process, r *Region, slot int, frame mem.FrameID) {
 	r.populated++
 	r.resident++
 	p.rss++
-	v.rmap[frame] = mapping{proc: p, reg: r, slot: int16(slot), kind: mapBase}
+	v.rmap[frame] = mapping{reg: r.Index, pid: int32(p.PID), slot: int16(slot), kind: mapBase}
 }
 
 // MapShared installs a COW mapping of a shared frame (the canonical zero
@@ -219,7 +313,7 @@ func (v *VMM) MapHuge(p *Process, r *Region, head mem.FrameID) {
 	r.hugeFlags = ptePresent | pteAccessed
 	p.hugeMapped++
 	p.rss += mem.HugePages
-	v.rmap[head] = mapping{proc: p, reg: r, slot: -1, kind: mapHuge}
+	v.rmap[head] = mapping{reg: r.Index, pid: int32(p.PID), slot: -1, kind: mapHuge}
 }
 
 // UnmapBase removes a base mapping and optionally frees the frame. Shared
@@ -247,7 +341,7 @@ func (v *VMM) UnmapBase(p *Process, r *Region, slot int, freeFrame bool) {
 	}
 	r.resident--
 	p.rss--
-	delete(v.rmap, frame)
+	v.rmap[frame] = mapping{}
 	if freeFrame {
 		v.Alloc.Free(frame, 0, !v.Content.Get(frame).Zero())
 	}
@@ -264,7 +358,7 @@ func (v *VMM) UnmapHuge(p *Process, r *Region, freeFrames bool) {
 	r.hugeFlags = 0
 	p.hugeMapped--
 	p.rss -= mem.HugePages
-	delete(v.rmap, head)
+	v.rmap[head] = mapping{}
 	if freeFrames {
 		dirty := false
 		for i := mem.FrameID(0); i < mem.HugePages; i++ {
@@ -279,15 +373,16 @@ func (v *VMM) UnmapHuge(p *Process, r *Region, freeFrames bool) {
 
 // MoveFrame implements mem.Mover: migrate a private frame during compaction.
 func (v *VMM) MoveFrame(old, new mem.FrameID) bool {
-	m, ok := v.rmap[old]
-	if !ok || m.kind != mapBase {
+	m := v.rmap[old]
+	if m.kind != mapBase {
 		return false // shared, huge-mapped or untracked: pinned
 	}
 	v.Content.Copy(new, old)
-	e := &m.reg.PTEs[m.slot]
+	r := v.procs[m.pid].region(m.reg)
+	e := &r.PTEs[m.slot]
 	e.Frame = new
 	v.rmap[new] = m
-	delete(v.rmap, old)
+	v.rmap[old] = mapping{}
 	return true
 }
 
@@ -316,7 +411,12 @@ func (v *VMM) Exit(p *Process) {
 		}
 	}
 	p.regions = make(map[RegionIndex]*Region)
+	p.dense = nil
 	p.order = nil
+	p.ordered = nil
+	p.dirtyOrder = false
+	p.lastRegion = nil
+	p.lastPTE = nil
 	p.Dead = true
 }
 
@@ -325,11 +425,12 @@ func (v *VMM) Exit(p *Process) {
 // canonical copy's owner keeps the same frame but through a COW mapping.
 // Returns false if the frame has no private base mapping.
 func (v *VMM) ConvertToShared(f mem.FrameID) bool {
-	m, ok := v.rmap[f]
-	if !ok || m.kind != mapBase {
+	m := v.rmap[f]
+	if m.kind != mapBase {
 		return false
 	}
-	p, r, slot := m.proc, m.reg, int(m.slot)
+	p := v.procs[m.pid]
+	r, slot := p.region(m.reg), int(m.slot)
 	v.UnmapBase(p, r, slot, false)
 	v.MapShared(p, r, slot, f)
 	return true

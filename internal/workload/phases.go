@@ -84,8 +84,16 @@ func (pp *Populate) run(k *kernel.Kernel, p *kernel.Proc, budget sim.Time) (sim.
 	if !pp.init {
 		pp.init = true
 	}
-	var consumed sim.Time
 	write := pp.Write
+	if !k.Cfg.ScalarPath {
+		done, consumed, err := k.TouchRange(p, pp.Start.Advance(pp.next), pp.Pages-pp.next, write, pp.OpCost, budget)
+		pp.next += done
+		if err != nil {
+			return consumed, false, err
+		}
+		return consumed, pp.next >= pp.Pages, nil
+	}
+	var consumed sim.Time
 	for pp.next < pp.Pages && consumed < budget {
 		c, err := k.Touch(p, pp.Start.Advance(pp.next), write)
 		if err != nil {
