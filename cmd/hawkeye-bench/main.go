@@ -17,6 +17,13 @@
 // files covering the experiment runs (flag parsing and table printing
 // excluded), for use with `go tool pprof` / `go tool trace`.
 //
+// Simulation tracing (distinct from -trace, which records the Go runtime):
+// -trace-events enables the deterministic event/counter subsystem on every
+// machine the experiments build and writes one file per machine into the
+// given directory — <id>-<label>.jsonl plus a matching .vmstat snapshot and
+// .trace.json Chrome trace. -trace-sample additionally records periodic
+// counter series into <id>-<label>.csv.
+//
 // Valid experiment IDs: run with -list.
 package main
 
@@ -25,13 +32,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"strings"
 	"time"
 
 	"hawkeye/internal/experiments"
 	"hawkeye/internal/runner"
+	"hawkeye/internal/sim"
+	htrace "hawkeye/internal/trace"
 )
 
 func main() {
@@ -44,6 +55,8 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this path")
 	memProfile := flag.String("memprofile", "", "write an allocation profile (after the runs) to this path")
 	traceOut := flag.String("trace", "", "write a runtime execution trace of the experiment runs to this path")
+	traceDir := flag.String("trace-events", "", "write per-machine simulation traces (JSONL, vmstat, Chrome JSON) into this directory")
+	traceSample := flag.Float64("trace-sample", 0, "sample vmstat counters every this many simulated seconds into per-machine CSVs (needs -trace-events)")
 	flag.Parse()
 
 	if *list {
@@ -63,6 +76,15 @@ func main() {
 		ids = experiments.IDs()
 	}
 	opts := experiments.Options{Scale: *scale, Seed: *seed, Quick: *quick}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "trace-events:", err)
+			os.Exit(1)
+		}
+		opts.Trace = &htrace.Config{
+			SampleEvery: sim.Time(*traceSample * float64(sim.Second)),
+		}
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -135,6 +157,15 @@ func main() {
 	}
 	fmt.Fprintf(tablesTo, "total: %d experiments in %.1fs wall\n", len(results), totalWall.Seconds())
 
+	if *traceDir != "" {
+		if err := exportTraces(*traceDir, results, *traceSample > 0); err != nil {
+			fmt.Fprintln(os.Stderr, "trace-events:", err)
+			failed++
+		} else {
+			fmt.Fprintf(tablesTo, "simulation traces written to %s\n", *traceDir)
+		}
+	}
+
 	if *jsonOut != "" {
 		rep := runner.NewReport(opts.WithDefaults(), *parallel, totalWall, results)
 		if err := rep.WriteJSON(*jsonOut); err != nil {
@@ -145,4 +176,76 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// exportTraces writes each traced machine's event trace (JSONL), vmstat
+// snapshot and Chrome trace — plus, when sampling was on, its counter
+// series as CSV — into dir as <experiment>-<label>.<ext>.
+func exportTraces(dir string, results []runner.Result, sampled bool) error {
+	for _, res := range results {
+		for _, e := range res.Traces.Entries() {
+			base := filepath.Join(dir, res.ID+"-"+sanitizeLabel(e.Label))
+			if err := writeTo(base+".jsonl", e.Trace.WriteJSONL); err != nil {
+				return err
+			}
+			if err := writeTo(base+".vmstat", e.Trace.WriteVmstat); err != nil {
+				return err
+			}
+			if err := writeTo(base+".trace.json", e.Trace.WriteChromeTrace); err != nil {
+				return err
+			}
+			if sampled && e.Series != nil {
+				if err := writeTo(base+".csv", func(w io.Writer) error {
+					return writeSeriesCSV(w, e.Series)
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// sanitizeLabel makes a trace label filename-safe.
+func sanitizeLabel(label string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '-'
+	}, label)
+}
+
+// writeTo creates path and streams fn into it.
+func writeTo(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeSeriesCSV dumps the sampled vmstat counter series of one machine.
+func writeSeriesCSV(w io.Writer, rec *sim.Recorder) error {
+	if _, err := fmt.Fprintln(w, "series,t_seconds,value"); err != nil {
+		return err
+	}
+	for _, name := range rec.Names() {
+		if !strings.HasPrefix(name, "vmstat/") {
+			continue
+		}
+		s := rec.Series(name)
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%.6f,%g\n", name, p.T.Seconds(), p.V); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -30,6 +31,10 @@ func main() {
 	deadline := flag.Float64("deadline", 0, "stop after this many simulated seconds (0 = run to completion)")
 	series := flag.String("series", "", "comma-separated recorder series to dump after the run")
 	csv := flag.String("csv", "", "write the selected series as CSV to this file (use with -series)")
+	traceEvents := flag.String("trace-events", "", "write the event trace as JSONL to this file")
+	vmstat := flag.String("vmstat", "", "write a vmstat-style counter snapshot to this file after the run")
+	traceChrome := flag.String("trace-chrome", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
+	traceSample := flag.Float64("trace-sample", 0, "sample all vmstat counters into recorder series every this many simulated seconds (0 = off)")
 	list := flag.Bool("list", false, "list policies and workloads, then exit")
 	flag.Parse()
 
@@ -39,6 +44,13 @@ func main() {
 		return
 	}
 
+	var traceCfg *hawkeye.TraceConfig
+	if *traceEvents != "" || *vmstat != "" || *traceChrome != "" || *traceSample > 0 {
+		traceCfg = &hawkeye.TraceConfig{
+			SampleEvery: hawkeye.Time(*traceSample * float64(hawkeye.Second)),
+		}
+	}
+
 	sim := hawkeye.NewSim(hawkeye.Options{
 		Policy:       *policyName,
 		MemoryBytes:  mem.Bytes(*memGB * float64(1<<30)),
@@ -46,6 +58,7 @@ func main() {
 		Seed:         *seed,
 		FragmentKeep: *fragment,
 		SwapBytes:    mem.Bytes(*swapGB * float64(1<<30)),
+		Trace:        traceCfg,
 	})
 
 	names := strings.Split(*workloads, ",")
@@ -80,6 +93,28 @@ func main() {
 	for _, h := range handles {
 		fmt.Println(" ", sim.Report(h))
 	}
+	writeTrace := func(path, what string, fn func(w io.Writer) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err == nil {
+			if err = fn(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, what+":", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s written to %s\n", what, path)
+	}
+	writeTrace(*traceEvents, "trace-events", sim.K.Trace.WriteJSONL)
+	writeTrace(*vmstat, "vmstat", sim.K.Trace.WriteVmstat)
+	writeTrace(*traceChrome, "trace-chrome", sim.K.Trace.WriteChromeTrace)
+
 	if *series != "" {
 		var csvOut *os.File
 		if *csv != "" {

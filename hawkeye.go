@@ -31,6 +31,7 @@ import (
 	"hawkeye/internal/mem"
 	"hawkeye/internal/policy"
 	"hawkeye/internal/sim"
+	"hawkeye/internal/trace"
 	"hawkeye/internal/workload"
 )
 
@@ -115,7 +116,14 @@ type Options struct {
 	// overcommitted machines page instead of OOM-killing, as on the
 	// paper's testbed.
 	SwapBytes mem.Bytes
+	// Trace, when non-nil, enables the deterministic event-tracing and
+	// vmstat-counter subsystem; the recorder is reachable afterwards as
+	// Sim.K.Trace. Tracing never perturbs simulation results.
+	Trace *TraceConfig
 }
+
+// TraceConfig configures the tracing subsystem (see internal/trace).
+type TraceConfig = trace.Config
 
 // DefaultScale is the footprint scale matching the default 8 GiB machine.
 const DefaultScale = 1.0 / 12
@@ -152,6 +160,7 @@ func NewSim(o Options) *Sim {
 		cfg.Seed = o.Seed
 	}
 	cfg.SwapBytes = o.SwapBytes
+	cfg.Trace = o.Trace
 	k := kernel.New(cfg, pol)
 	if o.FragmentKeep > 0 {
 		k.FragmentMemory(o.FragmentKeep)

@@ -181,10 +181,46 @@ func (h *HawkEye) Map(pid int) *AccessMap {
 
 // Attach implements kernel.Policy: it starts the four daemons.
 func (h *HawkEye) Attach(k *kernel.Kernel) {
+	h.registerGauges(k)
 	h.startSampler(k)
 	h.startPromoter(k)
 	h.startPrezero(k)
 	h.startBloatRecovery(k)
+}
+
+// registerGauges exposes policy state to the trace/vmstat subsystem when
+// tracing is enabled (no-op otherwise — k.Trace.Counters is nil-safe only
+// through the explicit guard here, since Gauge needs a live registry).
+func (h *HawkEye) registerGauges(k *kernel.Kernel) {
+	if k.Trace == nil || k.Trace.Counters == nil {
+		return
+	}
+	cs := k.Trace.Counters
+	cs.Gauge("hawkeye_promotions", func() float64 { return float64(h.Promotions) })
+	cs.Gauge("hawkeye_dedup_pages", func() float64 { return float64(h.DedupedPages) })
+	cs.Gauge("hawkeye_prezeroed_pages", func() float64 { return float64(h.PrezeroedPages) })
+	// Promotion-queue depth: regions currently tracked across all live
+	// access_maps (candidates the promoter can still pick from).
+	cs.Gauge("hawkeye_promo_queue", func() float64 {
+		n := 0
+		for _, p := range k.LiveProcs() {
+			n += h.Map(p.PID()).Len()
+		}
+		return float64(n)
+	})
+	// Mean estimated MMU overhead across live processes — the access-bit
+	// coverage signal the promoter ranks by.
+	cs.Gauge("hawkeye_est_overhead", func() float64 {
+		procs := k.LiveProcs()
+		if len(procs) == 0 {
+			return 0
+		}
+		sum := 0.0
+		for _, p := range procs {
+			sum += h.Map(p.PID()).EstimatedOverhead()
+		}
+		return sum / float64(len(procs))
+	})
 }
 
 // --- access-coverage sampler ---------------------------------------------

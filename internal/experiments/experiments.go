@@ -15,6 +15,7 @@ import (
 	"hawkeye/internal/mem"
 	"hawkeye/internal/policy"
 	"hawkeye/internal/sim"
+	"hawkeye/internal/trace"
 	"hawkeye/internal/workload"
 )
 
@@ -40,6 +41,14 @@ type Options struct {
 	// golden equivalence test in internal/runner holds the two paths to
 	// that contract.
 	Scalar bool
+	// Trace, when non-nil, enables the event-tracing/counter subsystem on
+	// every machine the experiment builds. Tracing is passive: it never
+	// influences scheduling or results, so runs with and without it emit
+	// byte-identical tables.
+	Trace *trace.Config
+	// Traces, when non-nil, collects each traced machine's recorder (and
+	// its sampled counter series) for export after the run.
+	Traces *TraceSet
 }
 
 // Metrics aggregates simulation counters across every machine an experiment
@@ -86,11 +95,74 @@ func (m *Metrics) EventsFired() uint64 {
 	return n
 }
 
-// observe registers a kernel's engine with the run's Metrics, if any.
+// TraceSet collects the trace recorder of every machine an experiment
+// builds, labeled by policy name, so callers can export events and counter
+// snapshots after the run. Safe for concurrent use so the parallel runner
+// can share one per experiment.
+type TraceSet struct {
+	mu      sync.Mutex
+	seen    map[*kernel.Kernel]struct{}
+	counts  map[string]int
+	entries []TraceEntry
+}
+
+// TraceEntry pairs one machine's trace recorder with its sampled counter
+// series (the kernel's sim.Recorder, which the trace sampler feeds).
+type TraceEntry struct {
+	Label  string
+	Trace  *trace.Recorder
+	Series *sim.Recorder
+}
+
+// NewTraceSet returns an empty collector.
+func NewTraceSet() *TraceSet {
+	return &TraceSet{
+		seen:   make(map[*kernel.Kernel]struct{}),
+		counts: make(map[string]int),
+	}
+}
+
+// observe registers a traced machine (deduplicated by pointer). Labels are
+// the policy name; repeats within one run get a "#2", "#3", ... suffix in
+// machine-creation order.
+func (t *TraceSet) observe(k *kernel.Kernel) {
+	if t == nil || k == nil || k.Trace == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.seen[k]; ok {
+		return
+	}
+	t.seen[k] = struct{}{}
+	label := "machine"
+	if k.Policy != nil {
+		label = k.Policy.Name()
+	}
+	t.counts[label]++
+	if n := t.counts[label]; n > 1 {
+		label = fmt.Sprintf("%s#%d", label, n)
+	}
+	t.entries = append(t.entries, TraceEntry{Label: label, Trace: k.Trace, Series: k.Rec})
+}
+
+// Entries returns the collected recorders in machine-creation order.
+func (t *TraceSet) Entries() []TraceEntry {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEntry(nil), t.entries...)
+}
+
+// observe registers a kernel's engine with the run's Metrics and its trace
+// recorder with the run's TraceSet, if either is present.
 func (o Options) observe(k *kernel.Kernel) {
 	if o.Metrics != nil {
 		o.Metrics.observe(k.Engine)
 	}
+	o.Traces.observe(k)
 }
 
 // WithDefaults returns the options with unset fields resolved to the
@@ -237,6 +309,7 @@ func (o Options) kernelConfig() kernel.Config {
 	cfg.MemoryBytes = o.MemoryBytes
 	cfg.Seed = o.Seed
 	cfg.ScalarPath = o.Scalar
+	cfg.Trace = o.Trace
 	return cfg
 }
 

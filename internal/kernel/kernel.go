@@ -14,6 +14,7 @@ import (
 	"hawkeye/internal/mem"
 	"hawkeye/internal/sim"
 	"hawkeye/internal/tlb"
+	"hawkeye/internal/trace"
 	"hawkeye/internal/vmm"
 )
 
@@ -44,6 +45,11 @@ type Config struct {
 	// swap, anonymous-allocation failures page out cold base pages instead
 	// of OOM-killing, and touching a swapped page costs a major fault.
 	SwapBytes mem.Bytes
+	// Trace, when non-nil, attaches a deterministic trace.Recorder to the
+	// machine: events at every mm decision point, vmstat-style counters, and
+	// (with Trace.SampleEvery > 0) periodic counter series in the machine's
+	// sim.Recorder. Tracing never influences simulation results.
+	Trace *trace.Config
 }
 
 // DefaultConfig returns an 8 GB machine (the paper's 96 GB host at 1/12
@@ -170,6 +176,20 @@ type Kernel struct {
 	// SwapOutTime accumulates the reclaim daemon's page-out cost.
 	SwapOutTime sim.Time
 	swapCursor  int // round-robin victim-selection cursor
+
+	// Trace is the machine's event recorder (nil = tracing off). The
+	// counter handles below are nil-safe, so every hook site costs one
+	// branch when tracing is disabled (DESIGN.md §8).
+	Trace          *trace.Recorder
+	ctrPgFault     *trace.Counter
+	ctrPgMajFault  *trace.Counter
+	ctrThpFault    *trace.Counter
+	ctrThpCollapse *trace.Counter
+	ctrThpSplit    *trace.Counter
+	ctrPswpIn      *trace.Counter
+	ctrPswpOut     *trace.Counter
+	ctrCOWBreak    *trace.Counter
+	ctrOOMKill     *trace.Counter
 }
 
 // New builds a machine with the given policy attached.
@@ -204,11 +224,60 @@ func New(cfg Config, pol Policy) *Kernel {
 		k.Swap = vmm.NewSwapDevice(mem.FrameID(alloc.TotalPages()), swapSlots)
 		k.VMM.Swap = k.Swap
 	}
+	if cfg.Trace != nil {
+		k.attachTrace(*cfg.Trace)
+	}
 	if pol != nil {
 		pol.Attach(k)
 	}
 	k.startKcompactd()
 	return k
+}
+
+// attachTrace wires the observability layer into the machine: the event
+// recorder, the push-counter handles used by the fault/reclaim hook sites,
+// the pull gauges mirroring /proc/vmstat's nr_* lines, and (when configured)
+// the periodic counter sampler. Runs before Policy.Attach so policies can
+// register their own counters/gauges on k.Trace.
+func (k *Kernel) attachTrace(cfg trace.Config) {
+	k.Trace = trace.NewRecorder(&k.Engine.Clock, cfg)
+	cs := k.Trace.Counters
+	k.ctrPgFault = cs.Counter("pgfault")
+	k.ctrPgMajFault = cs.Counter("pgmajfault")
+	k.ctrThpFault = cs.Counter("thp_fault_alloc")
+	k.ctrThpCollapse = cs.Counter("thp_collapse_alloc")
+	k.ctrThpSplit = cs.Counter("thp_split")
+	k.ctrPswpIn = cs.Counter("pswpin")
+	k.ctrPswpOut = cs.Counter("pswpout")
+	k.ctrCOWBreak = cs.Counter("cow_break")
+	k.ctrOOMKill = cs.Counter("oom_kill")
+	cs.Gauge("nr_free_pages", func() float64 { return float64(k.Alloc.FreePages()) })
+	cs.Gauge("nr_zero_free_pages", func() float64 { return float64(k.Alloc.ZeroFreePages()) })
+	cs.Gauge("nr_file_pages", func() float64 { return float64(k.Alloc.FileCachePages()) })
+	cs.Gauge("nr_anon_pages", func() float64 { return float64(k.Alloc.TagPages(mem.TagAnon)) })
+	cs.Gauge("nr_huge_capacity", func() float64 { return float64(k.Alloc.HugePageCapacity()) })
+	cs.Gauge("fmfi_huge", func() float64 { return k.Alloc.FMFI(mem.HugeOrder) })
+	cs.Gauge("contiguity_huge", func() float64 { return k.Alloc.ContiguityFraction(mem.HugeOrder) })
+	cs.Gauge("nr_swap_used", func() float64 {
+		if k.Swap == nil {
+			return 0
+		}
+		return float64(k.Swap.Used())
+	})
+	// Hardware-walk totals across every process, the numerator/denominator
+	// of the paper's MMU-overhead metric (walks over unhalted cycles).
+	cs.Gauge("walk_cycles", func() float64 {
+		var w float64
+		for _, p := range k.procs {
+			w += float64(p.PMU.WalkCycles)
+		}
+		return w
+	})
+	cs.Gauge("daemon_time_us", func() float64 { return float64(k.DaemonTime) })
+	k.Alloc.SetTrace(k.Trace)
+	k.TLB.SetTrace(k.Trace)
+	k.VMM.SetTrace(k.Trace)
+	trace.Sampler{Every: cfg.SampleEvery, Names: cfg.SampleNames}.Attach(k.Engine, cs, k.Rec)
 }
 
 // startKcompactd runs the background compaction daemon every kernel has
@@ -256,6 +325,7 @@ func (k *Kernel) Spawn(name string, prog Program) *Proc {
 		rng:       k.Engine.Rand.Fork(),
 	}
 	k.procs = append(k.procs, p)
+	k.Trace.TrackName(int32(p.VP.PID), name)
 	k.scheduleStep(p, 0)
 	return p
 }
@@ -269,6 +339,7 @@ func (k *Kernel) SpawnAt(delay sim.Time, name string, prog Program) *Proc {
 		rng:     k.Engine.Rand.Fork(),
 	}
 	k.procs = append(k.procs, p)
+	k.Trace.TrackName(int32(p.VP.PID), name)
 	k.Engine.AfterFunc(delay, "spawn:"+name, func(*sim.Engine) error {
 		p.StartedAt = k.Now()
 		k.stepOnce(p)
@@ -296,6 +367,7 @@ func (k *Kernel) stepOnce(p *Proc) {
 		p.Done = true
 		p.FinishedAt = k.Now()
 		k.OOMs++
+		k.ctrOOMKill.Inc()
 		k.VMM.Exit(p.VP)
 		k.TLB.InvalidateProcess(int32(p.VP.PID))
 		k.stopIfIdle()

@@ -6,6 +6,7 @@ import (
 
 	"hawkeye/internal/mem"
 	"hawkeye/internal/sim"
+	"hawkeye/internal/trace"
 	"hawkeye/internal/vmm"
 )
 
@@ -67,6 +68,9 @@ func (k *Kernel) handleFault(p *Proc, vpn vmm.VPN) (sim.Time, error) {
 		if p.Nested {
 			cost = nestedFaultCost(cost)
 		}
+		k.ctrPgMajFault.Inc()
+		k.ctrPswpIn.Inc()
+		k.Trace.SwapIn(int32(p.VP.PID), int64(r.Index), cost)
 		return cost, nil
 	}
 
@@ -76,7 +80,7 @@ func (k *Kernel) handleFault(p *Proc, vpn vmm.VPN) (sim.Time, error) {
 		needZero := !k.Alloc.FrameZeroed(frame)
 		k.zeroFrame(frame)
 		k.VMM.MapBase(p.VP, r, slot, frame)
-		return k.chargeFault(p, false, needZero), nil
+		return k.chargeFault(p, r, false, needZero), nil
 	}
 
 	decision := DecideBase
@@ -93,7 +97,7 @@ func (k *Kernel) handleFault(p *Proc, vpn vmm.VPN) (sim.Time, error) {
 			needZero := !blk.Zeroed
 			k.zeroBlock(blk.Head, mem.HugeOrder, blk.Zeroed)
 			k.VMM.MapHuge(p.VP, r, blk.Head)
-			return k.chargeFault(p, true, needZero), nil
+			return k.chargeFault(p, r, true, needZero), nil
 		}
 		// No contiguity: fall through to a base mapping.
 	case DecideReserve:
@@ -103,7 +107,7 @@ func (k *Kernel) handleFault(p *Proc, vpn vmm.VPN) (sim.Time, error) {
 			needZero := !blk.Zeroed
 			k.zeroFrame(frame)
 			k.VMM.MapBase(p.VP, r, slot, frame)
-			return k.chargeFault(p, false, needZero), nil
+			return k.chargeFault(p, r, false, needZero), nil
 		}
 		// No contiguity: plain base page.
 	}
@@ -115,7 +119,7 @@ func (k *Kernel) handleFault(p *Proc, vpn vmm.VPN) (sim.Time, error) {
 	needZero := !blk.Zeroed
 	k.zeroFrame(blk.Head)
 	k.VMM.MapBase(p.VP, r, slot, blk.Head)
-	return k.chargeFault(p, false, needZero), nil
+	return k.chargeFault(p, r, false, needZero), nil
 }
 
 // allocBaseWithReclaim allocates one anonymous base frame; when the
@@ -191,6 +195,10 @@ func (k *Kernel) swapOutPages(n int) int {
 			}
 		}
 	}
+	if evicted > 0 {
+		k.ctrPswpOut.Add(int64(evicted))
+		k.Trace.SwapOut(int64(evicted))
+	}
 	return evicted
 }
 
@@ -208,12 +216,15 @@ func (k *Kernel) handleCOW(p *Proc, vpn vmm.VPN) (sim.Time, error) {
 	if p.Nested {
 		cost = nestedFaultCost(cost)
 	}
+	k.ctrPgFault.Inc()
+	k.ctrCOWBreak.Inc()
+	k.Trace.DedupBreak(int32(p.VP.PID), int64(r.Index), cost)
 	return cost, nil
 }
 
 // chargeFault books fault latency, including the nested-paging surcharge
-// for guest processes.
-func (k *Kernel) chargeFault(p *Proc, huge, zeroed bool) sim.Time {
+// for guest processes, and emits the page_fault tracepoint.
+func (k *Kernel) chargeFault(p *Proc, r *vmm.Region, huge, zeroed bool) sim.Time {
 	var cost sim.Time
 	if huge {
 		cost = p.Acct.HugeFault(zeroed)
@@ -225,6 +236,11 @@ func (k *Kernel) chargeFault(p *Proc, huge, zeroed bool) sim.Time {
 	if p.Nested {
 		cost = nestedFaultCost(cost)
 	}
+	k.ctrPgFault.Inc()
+	if huge {
+		k.ctrThpFault.Inc()
+	}
+	k.Trace.PageFault(int32(p.VP.PID), int64(r.Index), huge, cost)
 	return cost
 }
 
@@ -270,7 +286,10 @@ func (k *Kernel) PromoteRegion(p *Proc, r *vmm.Region) (sim.Time, bool) {
 	if r.Reserved && r.Populated() == mem.HugePages {
 		k.VMM.PromoteInPlace(p.VP, r)
 		k.TLB.InvalidateRegion(int32(p.VP.PID), int64(r.Index))
-		return k.Cfg.Fault.PromotionCopyCost(0, 0), true
+		cost := k.Cfg.Fault.PromotionCopyCost(0, 0)
+		k.ctrThpCollapse.Inc()
+		k.Trace.Promote(trace.OriginKhugepaged, int32(p.VP.PID), int64(r.Index), 0, cost)
+		return cost, true
 	}
 	blk, ok := k.Alloc.AllocOpportunistic(mem.HugeOrder, mem.PreferZero, mem.TagAnon)
 	if !ok {
@@ -289,6 +308,8 @@ func (k *Kernel) PromoteRegion(p *Proc, r *vmm.Region) (sim.Time, bool) {
 	cost := k.Cfg.Fault.PromotionCopyCost(stats.CopiedPages, stats.ZeroFilled)
 	k.PromoteTime += cost
 	k.DaemonTime += cost
+	k.ctrThpCollapse.Inc()
+	k.Trace.Promote(trace.OriginKhugepaged, int32(p.VP.PID), int64(r.Index), int64(stats.CopiedPages), cost)
 	return cost, true
 }
 
@@ -298,5 +319,7 @@ func (k *Kernel) DemoteRegion(p *Proc, r *vmm.Region) sim.Time {
 	k.TLB.InvalidateRegion(int32(p.VP.PID), int64(r.Index))
 	cost := k.Cfg.Fault.DemotionCost()
 	k.DaemonTime += cost
+	k.ctrThpSplit.Inc()
+	k.Trace.Demote(trace.OriginKhugepaged, int32(p.VP.PID), int64(r.Index), cost)
 	return cost
 }

@@ -12,6 +12,7 @@ import (
 	"hawkeye/internal/kernel"
 	"hawkeye/internal/mem"
 	"hawkeye/internal/sim"
+	"hawkeye/internal/trace"
 	"hawkeye/internal/vmm"
 )
 
@@ -53,6 +54,12 @@ type KSM struct {
 	ZeroMerged  int64 // pages merged onto the zero page
 	DemotedHuge int64 // huge regions demoted for merging (MergeHuge)
 	Scanned     int64
+
+	// Tracing (nil when disabled; wired by Attach from the kernel).
+	tr            *trace.Recorder
+	ctrMerged     *trace.Counter
+	ctrZeroMerged *trace.Counter
+	ctrDemoted    *trace.Counter
 }
 
 // New creates a KSM engine; call Attach to start its daemon.
@@ -72,6 +79,10 @@ func New(cfg Config) *KSM {
 // Attach starts the scanning daemon on the kernel.
 func (s *KSM) Attach(k *kernel.Kernel) {
 	s.k = k
+	s.tr = k.Trace
+	s.ctrMerged = k.Trace.Counter("ksm_pages_merged")
+	s.ctrZeroMerged = k.Trace.Counter("ksm_zero_pages_merged")
+	s.ctrDemoted = k.Trace.Counter("ksm_huge_demoted")
 	k.Engine.Every(s.Cfg.Period, "ksmd", func(*sim.Engine) (bool, error) {
 		s.Pulse(s.Cfg.PagesPerPulse)
 		return true, nil
@@ -138,6 +149,9 @@ func (s *KSM) scanSlot(p *vmm.Process, r *vmm.Region, slot int) int {
 		s.k.VMM.MapShared(p, r, slot, s.k.VMM.ZeroFrame)
 		s.ZeroMerged++
 		s.MergedPages++
+		s.ctrMerged.Inc()
+		s.ctrZeroMerged.Inc()
+		s.tr.DedupMerge(trace.OriginKsmd, int32(p.PID), int64(r.Index), 1)
 		return 1
 	}
 	canon, ok := s.table[sig.Hash]
@@ -162,6 +176,8 @@ func (s *KSM) scanSlot(p *vmm.Process, r *vmm.Region, slot int) int {
 	s.k.VMM.MapShared(p, r, slot, canon)
 	s.k.Alloc.Free(frame, 0, true)
 	s.MergedPages++
+	s.ctrMerged.Inc()
+	s.tr.DedupMerge(trace.OriginKsmd, int32(p.PID), int64(r.Index), 1)
 	return 1
 }
 
@@ -202,6 +218,8 @@ func (s *KSM) considerHuge(p *vmm.Process, r *vmm.Region) int {
 	s.k.VMM.Demote(p, r)
 	s.k.TLB.InvalidateRegion(int32(p.PID), int64(r.Index))
 	s.DemotedHuge++
+	s.ctrDemoted.Inc()
+	s.tr.Demote(trace.OriginKsmd, int32(p.PID), int64(r.Index), 0)
 	return samples
 }
 

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+
+	"hawkeye/internal/trace"
 )
 
 // ErrOutOfMemory is returned when an allocation cannot be satisfied even
@@ -74,6 +76,18 @@ type Allocator struct {
 	CompactedBlocks int64 // huge-page-sized blocks rebuilt by compaction
 	MovedFrames     int64 // frames migrated by compaction
 	FailedMoves     int64
+
+	// Tracing (nil when disabled; counter handles are nil-safe, and the
+	// watermark check branches on tr once per alloc/free).
+	tr                *trace.Recorder
+	ctrCompactSuccess *trace.Counter
+	ctrCompactFail    *trace.Counter
+	ctrCompactMoved   *trace.Counter
+	ctrCompactScanned *trace.Counter
+	ctrPgReclaim      *trace.Counter
+	wmarkLow          Pages // below: watermark level 1
+	wmarkMin          Pages // below: watermark level 2 (allocation stalls near)
+	wmarkLevel        int32
 }
 
 const (
@@ -114,6 +128,49 @@ func NewAllocator(totalBytes Bytes) *Allocator {
 	a.freePages = pages
 	a.zeroFreePages = pages
 	return a
+}
+
+// SetTrace attaches the observability layer: compaction/reclaim counters
+// and watermark_cross events at the classic kswapd thresholds (low =
+// total/10 free, min = total/50 free). Passing nil detaches.
+func (a *Allocator) SetTrace(r *trace.Recorder) {
+	a.tr = r
+	if r == nil {
+		return
+	}
+	a.ctrCompactSuccess = r.Counter("compact_success")
+	a.ctrCompactFail = r.Counter("compact_fail")
+	a.ctrCompactMoved = r.Counter("compact_pages_moved")
+	a.ctrCompactScanned = r.Counter("compact_scanned")
+	a.ctrPgReclaim = r.Counter("pgsteal_file")
+	a.wmarkLow = a.totalPages / 10
+	a.wmarkMin = a.totalPages / 50
+	a.wmarkLevel = a.watermarkLevel()
+}
+
+// watermarkLevel classifies the current free-page count against the traced
+// watermarks: 0 = healthy, 1 = below low, 2 = below min.
+func (a *Allocator) watermarkLevel() int32 {
+	switch {
+	case a.freePages <= a.wmarkMin:
+		return 2
+	case a.freePages <= a.wmarkLow:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// noteWatermark emits a watermark_cross event when the free-page level moved
+// to a different watermark band since the last alloc/free.
+func (a *Allocator) noteWatermark() {
+	if a.tr == nil {
+		return
+	}
+	if lvl := a.watermarkLevel(); lvl != a.wmarkLevel {
+		a.wmarkLevel = lvl
+		a.tr.WatermarkCross(lvl, int64(a.freePages))
+	}
 }
 
 // SetMover registers the frame migration callback used by Compact.
@@ -379,6 +436,7 @@ func (a *Allocator) commitAlloc(head FrameID, order int, tag Tag) {
 			a.fileLIFO = append(a.fileLIFO, head+i)
 		}
 	}
+	a.noteWatermark()
 }
 
 // Free returns a 2^order block to the allocator. dirty indicates the
@@ -415,6 +473,7 @@ func (a *Allocator) Free(head FrameID, order int, dirty bool) {
 	a.tagPages[tag] -= Pages(n)
 	a.freePages += Pages(n)
 	a.coalesce(head, order)
+	a.noteWatermark()
 }
 
 // coalesce merges the freed block with free buddies and inserts the result.
@@ -534,6 +593,7 @@ func (a *Allocator) reclaimFile(n int) int {
 		dropped++
 	}
 	a.ReclaimedPages += Pages(dropped)
+	a.ctrPgReclaim.Add(int64(dropped))
 	return dropped
 }
 

@@ -56,6 +56,16 @@ func (a *Allocator) Compact(want int) CompactResult {
 		}
 	}
 	res.Moved = a.MovedFrames - movedBefore
+	if a.tr != nil {
+		a.tr.Compaction(int64(res.BlocksBuilt), res.Moved)
+		if res.BlocksBuilt > 0 {
+			a.ctrCompactSuccess.Add(int64(res.BlocksBuilt))
+		} else {
+			a.ctrCompactFail.Inc()
+		}
+		a.ctrCompactMoved.Add(res.Moved)
+		a.ctrCompactScanned.Add(res.Scanned)
+	}
 	return res
 }
 

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestBarsLabelAlignment: bucket bounds at 2^20 and above used to overflow
+// the fixed %6.0f label width and shear every column. Labels must now be
+// uniformly sized within one rendering, whatever the magnitude.
+func TestBarsLabelAlignment(t *testing.T) {
+	var h Histogram
+	h.Observe(3)       // bucket [2,4)
+	h.Observe(1 << 25) // bucket [2^25, 2^26) — 8+ digit bound
+	out := h.Bars(10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("Bars rendered %d lines, want >= 2:\n%s", len(lines), out)
+	}
+	// Every line's ")" closing the bound range must sit at the same column.
+	closeCol := strings.IndexByte(lines[0], ')')
+	if closeCol < 0 {
+		t.Fatalf("no bound range in %q", lines[0])
+	}
+	for _, ln := range lines {
+		if strings.IndexByte(ln, ')') != closeCol {
+			t.Errorf("misaligned bound labels:\n%s", out)
+			break
+		}
+	}
+	// Large bounds render in scientific notation, not a 9-digit blob.
+	if !strings.Contains(out, "e+") {
+		t.Errorf("bounds >= 2^20 should use scientific notation:\n%s", out)
+	}
+	// Small-only histograms keep the compact integer labels.
+	var small Histogram
+	small.Observe(3)
+	if got := small.Bars(10); !strings.Contains(got, "[     2,     4)") {
+		t.Errorf("small-bound label changed: %q", got)
+	}
+}
+
+// TestNewEMAClampsAlpha: NewEMA must clamp out-of-range alphas to
+// DefaultAlpha up front, so the constructed value and the Update-time
+// fallback agree.
+func TestNewEMAClampsAlpha(t *testing.T) {
+	cases := []struct {
+		in, want float64
+	}{
+		{0.4, 0.4},
+		{1, 1},
+		{0, DefaultAlpha},
+		{-2, DefaultAlpha},
+		{1.5, DefaultAlpha},
+		{math.NaN(), DefaultAlpha},
+		{math.Inf(1), DefaultAlpha},
+	}
+	for _, c := range cases {
+		if got := NewEMA(c.in).Alpha; got != c.want {
+			t.Errorf("NewEMA(%v).Alpha = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// A NaN Alpha set directly on the struct must also fall back in Update
+	// rather than poisoning the average.
+	e := &EMA{Alpha: math.NaN()}
+	e.Update(10)
+	if got := e.Update(20); math.IsNaN(got) || got != 15 {
+		t.Errorf("Update with NaN Alpha = %v, want 15 (DefaultAlpha)", got)
+	}
+}
+
+// TestQuantileEdges pins the quantile contract at its boundaries.
+func TestQuantileEdges(t *testing.T) {
+	// q = 0 and q = 1 on a multi-bucket histogram.
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(3) // bucket [2,4)
+	}
+	h.Observe(1000) // bucket [512,1024)
+	if q := h.Quantile(0); q < 3 || q > 4 {
+		t.Errorf("q=0 = %v, want the first bucket's bound (<= 4)", q)
+	}
+	if q := h.Quantile(1); q != 1000 {
+		t.Errorf("q=1 = %v, want max 1000", q)
+	}
+	// Out-of-range q clamps rather than misindexing.
+	if q := h.Quantile(-0.5); q != h.Quantile(0) {
+		t.Errorf("q<0 = %v, want same as q=0", q)
+	}
+	if q := h.Quantile(2); q != h.Quantile(1) {
+		t.Errorf("q>1 = %v, want same as q=1", q)
+	}
+
+	// Single-bucket histogram: every quantile reports that bucket.
+	var one Histogram
+	one.Observe(5) // bucket [4,8)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := one.Quantile(q); got != 5 {
+			// Max (5) is below the bucket top (8), so the cap applies.
+			t.Errorf("single-bucket Quantile(%v) = %v, want 5 (capped at max)", q, got)
+		}
+	}
+
+	// Max below the bucket top caps the reported bound: 300 observations of
+	// 600 live in [512,1024), but no observation exceeds 600.
+	var cap600 Histogram
+	for i := 0; i < 300; i++ {
+		cap600.Observe(600)
+	}
+	if q := cap600.Quantile(0.99); q != 600 {
+		t.Errorf("p99 = %v, want capped at max 600 (< bucket top 1024)", q)
+	}
+}
+
+// TestWelfordStability compares the online accumulator against the
+// closed-form two-pass reference on a distribution with a huge mean offset —
+// the case where the naive sum-of-squares formula loses all precision.
+func TestWelfordStability(t *testing.T) {
+	const (
+		offset = 1e9
+		n      = 10000
+	)
+	// Samples offset ± a small deterministic wobble.
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = offset + float64(i%7) - 3 // values offset-3 .. offset+3
+	}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	// Two-pass reference.
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / n
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	ref := math.Sqrt(ss / (n - 1))
+
+	if got := w.Mean(); math.Abs(got-mean) > 1e-6*offset {
+		t.Errorf("Mean = %v, want %v", got, mean)
+	}
+	if got := w.StdDev(); math.Abs(got-ref) > 1e-6*ref {
+		t.Errorf("StdDev = %v, want %v (rel err %g)", got, ref, math.Abs(got-ref)/ref)
+	}
+	if w.N() != n {
+		t.Errorf("N = %d, want %d", w.N(), n)
+	}
+
+	// n < 2 must report zero deviation, not NaN.
+	var w1 Welford
+	w1.Add(42)
+	if got := w1.StdDev(); got != 0 {
+		t.Errorf("StdDev with one sample = %v, want 0", got)
+	}
+}

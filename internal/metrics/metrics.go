@@ -19,10 +19,24 @@ type EMA struct {
 	init  bool
 }
 
-// NewEMA returns an EMA with the given new-sample weight.
-func NewEMA(alpha float64) *EMA { return &EMA{Alpha: alpha} }
+// DefaultAlpha is the new-sample weight used when an EMA is constructed
+// with, or has its Alpha field set to, a value outside the valid range.
+const DefaultAlpha = 0.5
 
-// Update folds in a sample and returns the new average.
+// NewEMA returns an EMA with the given new-sample weight. Valid alphas lie
+// in (0, 1]; anything else — zero, negative, above one, or NaN — is clamped
+// to DefaultAlpha here, matching the substitution Update applies when the
+// Alpha field is set out of range directly.
+func NewEMA(alpha float64) *EMA {
+	if !(alpha > 0 && alpha <= 1) {
+		alpha = DefaultAlpha
+	}
+	return &EMA{Alpha: alpha}
+}
+
+// Update folds in a sample and returns the new average. An Alpha outside
+// (0, 1] — including the zero value and NaN — is treated as DefaultAlpha
+// for this update; the field itself is left untouched.
 func (e *EMA) Update(x float64) float64 {
 	if !e.init {
 		e.val = x
@@ -30,8 +44,8 @@ func (e *EMA) Update(x float64) float64 {
 		return x
 	}
 	a := e.Alpha
-	if a <= 0 || a > 1 {
-		a = 0.5
+	if !(a > 0 && a <= 1) {
+		a = DefaultAlpha
 	}
 	e.val = a*x + (1-a)*e.val
 	return e.val
@@ -127,7 +141,19 @@ func (h *Histogram) String() string {
 		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.max)
 }
 
-// Bars renders an ASCII sketch of the non-empty buckets.
+// barBound formats one bucket boundary (2^i): plain integers up to 2^20,
+// scientific notation above, so labels stay short for any of the 64 buckets.
+func barBound(i int) string {
+	v := math.Pow(2, float64(i))
+	if v < 1<<20 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2e", v)
+}
+
+// Bars renders an ASCII sketch of the non-empty buckets. Bound labels are
+// right-aligned to the widest bound in view (scientific notation from 2^20
+// up), so columns stay aligned however large the observations were.
 func (h *Histogram) Bars(width int) string {
 	if width <= 0 {
 		width = 40
@@ -148,11 +174,17 @@ func (h *Histogram) Bars(width int) string {
 	if lo < 0 {
 		return "(empty)"
 	}
+	labelW := 6
+	for i := lo; i <= hi+1; i++ {
+		if n := len(barBound(i)); n > labelW {
+			labelW = n
+		}
+	}
 	var b strings.Builder
 	for i := lo; i <= hi; i++ {
 		n := int(float64(h.buckets[i]) / float64(peak) * float64(width))
-		fmt.Fprintf(&b, "[%6.0f,%6.0f) %s %d\n",
-			math.Pow(2, float64(i)), math.Pow(2, float64(i+1)),
+		fmt.Fprintf(&b, "[%*s,%*s) %s %d\n",
+			labelW, barBound(i), labelW, barBound(i+1),
 			strings.Repeat("#", n), h.buckets[i])
 	}
 	return b.String()

@@ -110,11 +110,12 @@ func updateBaseline(t *testing.T) {
 
 // Standard go-bench wrappers over the same tier-0 bodies, so
 // `go test ./internal/runner -bench Tier0` explores them interactively.
-func BenchmarkTier0Touch(b *testing.B)        { runTier0(b, "touch") }
-func BenchmarkTier0TouchRun(b *testing.B)     { runTier0(b, "touch_run") }
-func BenchmarkTier0TLBAccess(b *testing.B)    { runTier0(b, "tlb_access") }
-func BenchmarkTier0TLBAccessRun(b *testing.B) { runTier0(b, "tlb_access_run") }
-func BenchmarkTier0AccessScan(b *testing.B)   { runTier0(b, "access_scan") }
+func BenchmarkTier0Touch(b *testing.B)          { runTier0(b, "touch") }
+func BenchmarkTier0TouchRun(b *testing.B)       { runTier0(b, "touch_run") }
+func BenchmarkTier0TouchRunTraced(b *testing.B) { runTier0(b, "touch_run_traced") }
+func BenchmarkTier0TLBAccess(b *testing.B)      { runTier0(b, "tlb_access") }
+func BenchmarkTier0TLBAccessRun(b *testing.B)   { runTier0(b, "tlb_access_run") }
+func BenchmarkTier0AccessScan(b *testing.B)     { runTier0(b, "access_scan") }
 
 func runTier0(b *testing.B, name string) {
 	for _, bench := range Tier0Benchmarks() {

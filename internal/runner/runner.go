@@ -37,6 +37,11 @@ type Result struct {
 	// EventsPerSec is Events / WallSeconds — the simulator's throughput on
 	// this experiment.
 	EventsPerSec float64 `json:"events_per_sec"`
+
+	// Traces holds the experiment's trace recorders when tracing was
+	// enabled (Options.Trace non-nil). In-memory only: callers export via
+	// the trace package's writers; the JSON report never embeds events.
+	Traces *experiments.TraceSet `json:"-"`
 }
 
 // Report is the JSON document hawkeye-bench -json emits.
@@ -85,9 +90,13 @@ func Run(ids []string, opts experiments.Options, workers int) []Result {
 	return results
 }
 
-// runOne executes a single experiment with a private Metrics collector.
+// runOne executes a single experiment with a private Metrics collector
+// (and, when tracing is enabled, a private TraceSet).
 func runOne(id string, opts experiments.Options) Result {
 	opts.Metrics = experiments.NewMetrics()
+	if opts.Trace != nil {
+		opts.Traces = experiments.NewTraceSet()
+	}
 	var msBefore runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
@@ -101,6 +110,7 @@ func runOne(id string, opts experiments.Options) Result {
 		WallSeconds: wall,
 		AllocBytes:  msAfter.TotalAlloc - msBefore.TotalAlloc,
 		Events:      opts.Metrics.EventsFired(),
+		Traces:      opts.Traces,
 	}
 	if wall > 0 {
 		res.EventsPerSec = float64(res.Events) / wall

@@ -10,6 +10,7 @@ package tlb
 import (
 	"hawkeye/internal/mem"
 	"hawkeye/internal/sim"
+	"hawkeye/internal/trace"
 )
 
 // Config describes the simulated TLB hierarchy and walk-cost model.
@@ -283,6 +284,17 @@ type TLB struct {
 	L1Hits  int64
 	L2Hits  int64
 	Misses  int64
+
+	// Tracing hooks (nil when disabled). Only the invalidation paths emit;
+	// Access/AccessRun — the translation hot path — stay untouched.
+	tr           *trace.Recorder
+	ctrShootdown *trace.Counter
+}
+
+// SetTrace attaches shootdown tracing (nil detaches).
+func (t *TLB) SetTrace(r *trace.Recorder) {
+	t.tr = r
+	t.ctrShootdown = r.Counter("tlb_shootdown")
 }
 
 // New creates a TLB with the given configuration.
@@ -368,6 +380,8 @@ func (t *TLB) InvalidateProcess(pid int32) {
 	t.l1Base.invalidatePID(pid)
 	t.l1Huge.invalidatePID(pid)
 	t.l2.invalidatePID(pid)
+	t.ctrShootdown.Inc()
+	t.tr.TLBShootdown(pid, -1)
 }
 
 // InvalidateRegion flushes the entries covering one 2 MB region of a
@@ -377,6 +391,8 @@ func (t *TLB) InvalidateRegion(pid int32, region int64) {
 	t.l1Base.invalidateRange(pid, lo, hi, region)
 	t.l1Huge.invalidateRange(pid, lo, hi, region)
 	t.l2.invalidateRange(pid, lo, hi, region)
+	t.ctrShootdown.Inc()
+	t.tr.TLBShootdown(pid, region)
 }
 
 // Locality expresses how friendly an access pattern is to the page-walk

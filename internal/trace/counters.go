@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"hawkeye/internal/sim"
+)
+
+// Counter is a named monotonic counter. Hook sites hold *Counter handles
+// that are nil when tracing is disabled; all methods are nil-safe, so the
+// disabled cost is a single branch.
+type Counter struct {
+	name string
+	v    int64
+}
+
+// Name returns the counter's registered name ("" on a nil handle).
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// gauge is a named pull callback sampled at snapshot time.
+type gauge struct {
+	name string
+	fn   func() float64
+}
+
+// Counters is a machine's vmstat-style registry: monotonic counters pushed
+// from hook sites plus pull gauges read at snapshot time. Snapshots walk
+// registration order, never map order, so output is deterministic.
+type Counters struct {
+	clock    *sim.Clock
+	counters []*Counter
+	gauges   []gauge
+	byName   map[string]*Counter
+}
+
+// NewCounters builds an empty registry stamped from the given clock.
+func NewCounters(clock *sim.Clock) *Counters {
+	return &Counters{clock: clock, byName: make(map[string]*Counter)}
+}
+
+// Counter returns the named counter, registering it on first use. Safe on a
+// nil registry (returns a nil, still-safe handle).
+func (cs *Counters) Counter(name string) *Counter {
+	if cs == nil {
+		return nil
+	}
+	if c, ok := cs.byName[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	cs.byName[name] = c
+	cs.counters = append(cs.counters, c)
+	return c
+}
+
+// Gauge registers a pull gauge. Registering the same name twice panics: a
+// gauge has exactly one source of truth. Safe on a nil registry.
+func (cs *Counters) Gauge(name string, fn func() float64) {
+	if cs == nil {
+		return
+	}
+	for _, g := range cs.gauges {
+		if g.name == name {
+			panic(fmt.Sprintf("trace: gauge %q registered twice", name))
+		}
+	}
+	cs.gauges = append(cs.gauges, gauge{name: name, fn: fn})
+}
+
+// Sample is one (name, value) pair of a snapshot.
+type Sample struct {
+	Name  string
+	Value float64
+}
+
+// Snapshot reads every counter, then every gauge, in registration order.
+func (cs *Counters) Snapshot() []Sample {
+	if cs == nil {
+		return nil
+	}
+	out := make([]Sample, 0, len(cs.counters)+len(cs.gauges))
+	for _, c := range cs.counters {
+		out = append(out, Sample{Name: c.name, Value: float64(c.v)})
+	}
+	for _, g := range cs.gauges {
+		out = append(out, Sample{Name: g.name, Value: g.fn()})
+	}
+	return out
+}
+
+// WriteVmstat writes a /proc/vmstat-style text snapshot: one "name value"
+// line per counter/gauge, preceded by the simulated timestamp. Counters
+// print as integers, gauges with the shortest exact float form, so two runs
+// of the same seeded simulation produce byte-identical snapshots.
+func (cs *Counters) WriteVmstat(w io.Writer) error {
+	if cs == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "sim_time_us %d\n", int64(cs.clock.Now())); err != nil {
+		return err
+	}
+	for _, c := range cs.counters {
+		if _, err := fmt.Fprintf(w, "%s %d\n", c.name, c.v); err != nil {
+			return err
+		}
+	}
+	for _, g := range cs.gauges {
+		if _, err := fmt.Fprintf(w, "%s %s\n", g.name, strconv.FormatFloat(g.fn(), 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

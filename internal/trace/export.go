@@ -1,0 +1,155 @@
+package trace
+
+// Exporters. Three formats, all deterministic byte-for-byte for a fixed
+// event stream:
+//
+//   - JSONL: one fixed-field JSON object per event, in emission order — the
+//     machine-diffable ground truth.
+//   - vmstat: the Counters text snapshot (counters.go).
+//   - Chrome trace_event JSON: loadable in chrome://tracing or Perfetto.
+//     One process (pid 1 = the machine), one thread track per simulated
+//     process plus one per kernel daemon origin. Events with a charged
+//     latency render as complete ("X") slices of that duration; the rest as
+//     instants ("i"). sim.Time is microseconds, which is exactly the
+//     trace_event "ts" unit.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonEvent is the JSONL wire schema. Field order is fixed by the struct,
+// so encoding/json output is stable.
+type jsonEvent struct {
+	T      int64  `json:"t"`
+	Kind   string `json:"kind"`
+	Origin string `json:"origin"`
+	PID    int32  `json:"pid"`
+	Region int64  `json:"region"`
+	Huge   bool   `json:"huge"`
+	N      int64  `json:"n"`
+	Cost   int64  `json:"cost"`
+	Aux    int64  `json:"aux"`
+}
+
+// WriteJSONL writes the retained events as one JSON object per line.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, ev := range r.Events() {
+		je := jsonEvent{
+			T:      int64(ev.T),
+			Kind:   ev.Kind.String(),
+			Origin: ev.Origin.String(),
+			PID:    ev.PID,
+			Region: ev.Region,
+			Huge:   ev.Huge,
+			N:      ev.N,
+			Cost:   int64(ev.Cost),
+			Aux:    ev.Aux,
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteVmstat writes the counter registry as a vmstat-style text snapshot.
+func (r *Recorder) WriteVmstat(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	return r.Counters.WriteVmstat(w)
+}
+
+// chromeEvent is one trace_event record. Args carries the kind-specific
+// payload; map keys marshal in sorted order, so output stays deterministic.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromePid is the single trace_event process id all tracks live under (one
+// Recorder = one machine).
+const chromePid = 1
+
+// daemonTidBase offsets daemon-origin tracks above any process track.
+const daemonTidBase = 1 << 20
+
+// chromeTid maps an event to its track: processes get tid = PID+1 (tid 0 is
+// reserved in some viewers), daemon origins a fixed high range.
+func chromeTid(ev Event) int64 {
+	if ev.Origin == OriginProc && ev.PID >= 0 {
+		return int64(ev.PID) + 1
+	}
+	return daemonTidBase + int64(ev.Origin)
+}
+
+// WriteChromeTrace writes the retained events as a Chrome trace_event JSON
+// document ({"traceEvents": [...]}).
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	events := r.Events()
+	out := make([]chromeEvent, 0, len(events)+len(r.trackOrder)+int(originCount)+1)
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid,
+		Args: map[string]any{"name": "hawkeye-sim"},
+	})
+	// Thread-name metadata: named process tracks in registration order, then
+	// every daemon origin that actually emitted.
+	for _, pid := range r.trackOrder {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: int64(pid) + 1,
+			Args: map[string]any{"name": fmt.Sprintf("%s (pid %d)", r.trackNames[pid], pid)},
+		})
+	}
+	used := [originCount]bool{}
+	for _, ev := range events {
+		if !(ev.Origin == OriginProc && ev.PID >= 0) {
+			used[ev.Origin] = true
+		}
+	}
+	for o := Origin(0); o < originCount; o++ {
+		if used[o] {
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: chromePid, Tid: daemonTidBase + int64(o),
+				Args: map[string]any{"name": o.String()},
+			})
+		}
+	}
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Kind.String(),
+			Ts:   int64(ev.T),
+			Pid:  chromePid,
+			Tid:  chromeTid(ev),
+			Args: map[string]any{
+				"pid": ev.PID, "region": ev.Region, "huge": ev.Huge,
+				"n": ev.N, "aux": ev.Aux,
+			},
+		}
+		if ev.Cost > 0 {
+			ce.Ph, ce.Dur = "X", int64(ev.Cost)
+		} else {
+			ce.Ph, ce.S = "i", "t"
+		}
+		out = append(out, ce)
+	}
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: out}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

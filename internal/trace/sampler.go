@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"hawkeye/internal/sim"
+)
+
+// Sampler periodically snapshots a Counters registry into named sim.Series
+// ("vmstat/<counter>"), producing the paper-style time series (free memory,
+// FMFI, promotion backlog over time) from the same counters the vmstat
+// snapshot prints. Sampling reads state but never mutates it, so a run with
+// a Sampler attached produces byte-identical simulation results to one
+// without.
+type Sampler struct {
+	// Every is the sampling period in simulated time.
+	Every sim.Time
+	// Names restricts sampling to these counters/gauges (empty = all).
+	Names []string
+}
+
+// Attach schedules the sampler on the engine, recording into out. The first
+// sample lands one period after attach. No-op when any piece is missing.
+func (s Sampler) Attach(eng *sim.Engine, cs *Counters, out *sim.Recorder) {
+	if s.Every <= 0 || eng == nil || cs == nil || out == nil {
+		return
+	}
+	var want map[string]bool
+	if len(s.Names) > 0 {
+		want = make(map[string]bool, len(s.Names))
+		for _, n := range s.Names {
+			want[n] = true
+		}
+	}
+	eng.Every(s.Every, "trace-sampler", func(*sim.Engine) (bool, error) {
+		for _, smp := range cs.Snapshot() {
+			if want != nil && !want[smp.Name] {
+				continue
+			}
+			out.Record("vmstat/"+smp.Name, smp.Value)
+		}
+		return true, nil
+	})
+}

@@ -1,0 +1,396 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hawkeye/internal/sim"
+)
+
+func newTestRecorder(capacity int) (*Recorder, *sim.Clock) {
+	clk := &sim.Clock{}
+	return NewRecorder(clk, Config{Capacity: capacity}), clk
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	// Every public method must be a no-op on a nil receiver.
+	r.Emit(Event{})
+	r.PageFault(1, 2, true, 3)
+	r.Promote(OriginKhugepaged, 1, 2, 3, 4)
+	r.Demote(OriginKsmd, 1, 2, 0)
+	r.Compaction(1, 2)
+	r.DedupMerge(OriginKbloatd, 1, 2, 3)
+	r.DedupBreak(1, 2, 3)
+	r.SwapOut(4)
+	r.SwapIn(1, 2, 3)
+	r.TLBShootdown(1, -1)
+	r.WatermarkCross(1, 100)
+	r.TrackName(1, "x")
+	if got := r.Total(); got != 0 {
+		t.Errorf("nil Recorder Total = %d, want 0", got)
+	}
+	if got := r.Dropped(); got != 0 {
+		t.Errorf("nil Recorder Dropped = %d, want 0", got)
+	}
+	if evs := r.Events(); evs != nil {
+		t.Errorf("nil Recorder Events = %v, want nil", evs)
+	}
+	c := r.Counter("pgfault")
+	if c != nil {
+		t.Fatalf("nil Recorder Counter = %v, want nil", c)
+	}
+	c.Inc()
+	c.Add(5)
+	if got := c.Value(); got != 0 {
+		t.Errorf("nil Counter Value = %d, want 0", got)
+	}
+	if got := c.Name(); got != "" {
+		t.Errorf("nil Counter Name = %q, want empty", got)
+	}
+	var cs *Counters
+	cs.Gauge("g", func() float64 { return 1 })
+	if s := cs.Snapshot(); s != nil {
+		t.Errorf("nil Counters Snapshot = %v, want nil", s)
+	}
+	if err := cs.WriteVmstat(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil Counters WriteVmstat: %v", err)
+	}
+	if err := r.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil Recorder WriteJSONL: %v", err)
+	}
+	if err := r.WriteVmstat(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil Recorder WriteVmstat: %v", err)
+	}
+	if err := r.WriteChromeTrace(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil Recorder WriteChromeTrace: %v", err)
+	}
+}
+
+func TestEmitStampsSimTime(t *testing.T) {
+	r, clk := newTestRecorder(8)
+	clk.Advance(42)
+	r.PageFault(7, 3, true, 5)
+	evs := r.Events()
+	if len(evs) != 1 {
+		t.Fatalf("Events = %d, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.T != 42 {
+		t.Errorf("T = %v, want 42", ev.T)
+	}
+	if ev.Kind != KindPageFault || ev.Origin != OriginProc {
+		t.Errorf("kind/origin = %v/%v", ev.Kind, ev.Origin)
+	}
+	if ev.PID != 7 || ev.Region != 3 || !ev.Huge || ev.Cost != 5 || ev.N != 1 {
+		t.Errorf("payload = %+v", ev)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r, clk := newTestRecorder(4)
+	for i := 0; i < 10; i++ {
+		clk.Advance(sim.Time(i))
+		r.SwapOut(int64(i))
+	}
+	if got := r.Total(); got != 10 {
+		t.Errorf("Total = %d, want 10", got)
+	}
+	if got := r.Dropped(); got != 6 {
+		t.Errorf("Dropped = %d, want 6", got)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// The last 4 emissions survive, in chronological order.
+	for i, ev := range evs {
+		want := int64(6 + i)
+		if ev.N != want || ev.T != sim.Time(want) {
+			t.Errorf("event %d = {N:%d T:%v}, want N=T=%d", i, ev.N, ev.T, want)
+		}
+	}
+}
+
+func TestKindAndOriginNames(t *testing.T) {
+	for k := Kind(0); k < kindCount; k++ {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Errorf("Kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Errorf("out-of-range Kind should stringify as unknown")
+	}
+	for o := Origin(0); o < originCount; o++ {
+		if o.String() == "unknown" || o.String() == "" {
+			t.Errorf("Origin %d has no name", o)
+		}
+	}
+	if Origin(200).String() != "unknown" {
+		t.Errorf("out-of-range Origin should stringify as unknown")
+	}
+}
+
+func TestCountersSnapshotOrder(t *testing.T) {
+	clk := &sim.Clock{}
+	cs := NewCounters(clk)
+	// Register in a deliberately non-alphabetical order.
+	cs.Counter("zeta").Add(3)
+	cs.Counter("alpha").Inc()
+	cs.Gauge("mid_gauge", func() float64 { return 2.5 })
+	cs.Counter("beta")
+	got := cs.Snapshot()
+	wantNames := []string{"zeta", "alpha", "beta", "mid_gauge"}
+	if len(got) != len(wantNames) {
+		t.Fatalf("Snapshot len = %d, want %d", len(got), len(wantNames))
+	}
+	for i, s := range got {
+		if s.Name != wantNames[i] {
+			t.Errorf("Snapshot[%d] = %q, want %q (registration order)", i, s.Name, wantNames[i])
+		}
+	}
+	if got[0].Value != 3 || got[1].Value != 1 || got[2].Value != 0 || got[3].Value != 2.5 {
+		t.Errorf("Snapshot values = %+v", got)
+	}
+	// Same name returns the same handle.
+	if cs.Counter("alpha") != cs.Counter("alpha") {
+		t.Errorf("Counter not deduplicated by name")
+	}
+}
+
+func TestGaugeDuplicatePanics(t *testing.T) {
+	cs := NewCounters(&sim.Clock{})
+	cs.Gauge("g", func() float64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Errorf("duplicate Gauge registration did not panic")
+		}
+	}()
+	cs.Gauge("g", func() float64 { return 1 })
+}
+
+func TestWriteVmstatGolden(t *testing.T) {
+	clk := &sim.Clock{}
+	clk.Advance(1500)
+	cs := NewCounters(clk)
+	cs.Counter("pgfault").Add(12)
+	cs.Counter("pswpout")
+	cs.Gauge("fmfi_huge", func() float64 { return 0.25 })
+	cs.Gauge("nr_free_pages", func() float64 { return 1024 })
+	var b bytes.Buffer
+	if err := cs.WriteVmstat(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "sim_time_us 1500\n" +
+		"pgfault 12\n" +
+		"pswpout 0\n" +
+		"fmfi_huge 0.25\n" +
+		"nr_free_pages 1024\n"
+	if b.String() != want {
+		t.Errorf("vmstat snapshot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestWriteJSONLSchema(t *testing.T) {
+	r, clk := newTestRecorder(16)
+	clk.Advance(10)
+	r.PageFault(1, 5, true, 7)
+	clk.Advance(20)
+	r.Compaction(2, 64)
+	var b bytes.Buffer
+	if err := r.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("JSONL lines = %d, want 2", len(lines))
+	}
+	required := []string{"t", "kind", "origin", "pid", "region", "huge", "n", "cost", "aux"}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", i, err)
+		}
+		for _, k := range required {
+			if _, ok := m[k]; !ok {
+				t.Errorf("line %d missing field %q", i, k)
+			}
+		}
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first["kind"] != "page_fault" || first["t"] != float64(10) || first["huge"] != true {
+		t.Errorf("first event = %v", first)
+	}
+}
+
+func TestDeterministicExports(t *testing.T) {
+	// Two identical emission sequences must produce byte-identical exports.
+	run := func() (jsonl, vmstat, chrome string) {
+		r, clk := newTestRecorder(32)
+		r.TrackName(1, "cg.D")
+		r.Counter("pgfault")
+		r.Counters.Gauge("nr_free_pages", func() float64 { return 77 })
+		clk.Advance(5)
+		r.PageFault(1, 0, false, 3)
+		r.Counter("pgfault").Inc()
+		clk.Advance(11)
+		r.Promote(OriginKhugepaged, 1, 0, 512, 100)
+		r.SwapOut(32)
+		var j, v, c bytes.Buffer
+		if err := r.WriteJSONL(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WriteVmstat(&v); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WriteChromeTrace(&c); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), v.String(), c.String()
+	}
+	j1, v1, c1 := run()
+	j2, v2, c2 := run()
+	if j1 != j2 {
+		t.Errorf("JSONL not byte-identical across runs")
+	}
+	if v1 != v2 {
+		t.Errorf("vmstat not byte-identical across runs")
+	}
+	if c1 != c2 {
+		t.Errorf("Chrome trace not byte-identical across runs")
+	}
+}
+
+func TestChromeTraceSchema(t *testing.T) {
+	r, clk := newTestRecorder(32)
+	r.TrackName(1, "proc-a")
+	r.TrackName(2, "proc-b")
+	clk.Advance(3)
+	r.PageFault(1, 0, false, 4) // complete slice (cost > 0)
+	clk.Advance(9)
+	r.TLBShootdown(2, -1) // instant (cost 0)
+	r.Compaction(1, 10)   // daemon track
+	var b bytes.Buffer
+	if err := r.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome trace not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+	lastTs := map[float64]float64{} // tid -> last ts
+	var metas, slices, instants int
+	for i, ev := range doc.TraceEvents {
+		for _, k := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[k]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, k, ev)
+			}
+		}
+		switch ev["ph"] {
+		case "M":
+			metas++
+			continue
+		case "X":
+			slices++
+			if _, ok := ev["dur"]; !ok {
+				t.Errorf("complete event %d missing dur", i)
+			}
+		case "i":
+			instants++
+			if ev["s"] != "t" {
+				t.Errorf("instant event %d scope = %v, want t", i, ev["s"])
+			}
+		default:
+			t.Errorf("event %d has unexpected ph %v", i, ev["ph"])
+		}
+		ts, ok := ev["ts"].(float64)
+		if !ok {
+			t.Fatalf("event %d ts missing or non-numeric", i)
+		}
+		tid := ev["tid"].(float64)
+		if prev, seen := lastTs[tid]; seen && ts < prev {
+			t.Errorf("event %d: ts %v < previous %v on track %v", i, ts, prev, tid)
+		}
+		lastTs[tid] = ts
+	}
+	// process_name + 2 named proc tracks + 1 used daemon track.
+	if metas != 4 {
+		t.Errorf("metadata events = %d, want 4", metas)
+	}
+	if slices != 1 || instants != 2 {
+		t.Errorf("slices/instants = %d/%d, want 1/2", slices, instants)
+	}
+}
+
+func TestSampler(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cs := NewCounters(&eng.Clock)
+	c := cs.Counter("pgfault")
+	out := sim.NewRecorder(&eng.Clock)
+	Sampler{Every: 10}.Attach(eng, cs, out)
+	eng.AfterFunc(5, "bump", func(*sim.Engine) error {
+		c.Add(3)
+		return nil
+	})
+	eng.AfterFunc(15, "bump2", func(*sim.Engine) error {
+		c.Add(4)
+		return nil
+	})
+	if err := eng.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	s := out.Series("vmstat/pgfault")
+	if len(s.Points) != 3 {
+		t.Fatalf("sampled %d points, want 3 (t=10,20,30)", len(s.Points))
+	}
+	wantT := []sim.Time{10, 20, 30}
+	wantV := []float64{3, 7, 7}
+	for i, p := range s.Points {
+		if p.T != wantT[i] || p.V != wantV[i] {
+			t.Errorf("point %d = {%v %v}, want {%v %v}", i, p.T, p.V, wantT[i], wantV[i])
+		}
+	}
+}
+
+func TestSamplerNameFilter(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cs := NewCounters(&eng.Clock)
+	cs.Counter("keep").Add(1)
+	cs.Counter("drop").Add(2)
+	out := sim.NewRecorder(&eng.Clock)
+	Sampler{Every: 10, Names: []string{"keep"}}.Attach(eng, cs, out)
+	if err := eng.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(out.Series("vmstat/keep").Points); got != 1 {
+		t.Errorf("keep points = %d, want 1", got)
+	}
+	if got := len(out.Series("vmstat/drop").Points); got != 0 {
+		t.Errorf("drop points = %d, want 0 (filtered)", got)
+	}
+}
+
+func TestSamplerNoOpWhenDisabled(t *testing.T) {
+	eng := sim.NewEngine(1)
+	out := sim.NewRecorder(&eng.Clock)
+	Sampler{Every: 0}.Attach(eng, NewCounters(&eng.Clock), out)
+	Sampler{Every: 10}.Attach(nil, NewCounters(&eng.Clock), out)
+	Sampler{Every: 10}.Attach(eng, nil, out)
+	Sampler{Every: 10}.Attach(eng, NewCounters(&eng.Clock), nil)
+	if err := eng.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	if names := out.Names(); len(names) != 0 {
+		t.Errorf("disabled samplers recorded series: %v", names)
+	}
+}

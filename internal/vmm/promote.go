@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hawkeye/internal/mem"
+	"hawkeye/internal/trace"
 )
 
 // PromoteStats reports the work a copy-based promotion performed, so the
@@ -197,6 +198,8 @@ func (v *VMM) DedupHuge(p *Process, r *Region) int {
 	}
 	p.Stats.DedupPages += int64(released)
 	p.Stats.BloatBroken++
+	v.ctrDedup.Add(int64(released))
+	v.tr.DedupMerge(trace.OriginKbloatd, int32(p.PID), int64(r.Index), int64(released))
 	return released
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"hawkeye/internal/content"
 	"hawkeye/internal/mem"
+	"hawkeye/internal/trace"
 )
 
 // Stats aggregates per-process memory-management counters maintained by the
@@ -85,6 +86,17 @@ type VMM struct {
 	// Swap is the optional swap device; when set, DontNeed and Exit release
 	// swapped slots and the fault layer can page out/in.
 	Swap *SwapDevice
+
+	// Tracing hooks (nil when disabled); only the dedup paths emit here —
+	// faults and swaps are traced by the kernel layer, which knows the cost.
+	tr       *trace.Recorder
+	ctrDedup *trace.Counter
+}
+
+// SetTrace attaches dedup tracing (nil detaches).
+func (v *VMM) SetTrace(r *trace.Recorder) {
+	v.tr = r
+	v.ctrDedup = r.Counter("thp_dedup_pages")
 }
 
 // New creates a VMM over the given allocator and content store and registers
