@@ -57,6 +57,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write a runtime execution trace of the experiment runs to this path")
 	traceDir := flag.String("trace-events", "", "write per-machine simulation traces (JSONL, vmstat, Chrome JSON) into this directory")
 	traceSample := flag.Float64("trace-sample", 0, "sample vmstat counters every this many simulated seconds into per-machine CSVs (needs -trace-events)")
+	noSnapCache := flag.Bool("no-snapshot-cache", false, "build and fragment every machine from scratch instead of forking cached warm-up snapshots (output is byte-identical either way)")
 	flag.Parse()
 
 	if *list {
@@ -75,7 +76,7 @@ func main() {
 	if len(args) == 1 && args[0] == "all" {
 		ids = experiments.IDs()
 	}
-	opts := experiments.Options{Scale: *scale, Seed: *seed, Quick: *quick}
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Quick: *quick, NoSnapshotCache: *noSnapCache}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "trace-events:", err)

@@ -62,6 +62,56 @@ func NewStore(totalFrames int64, rng *sim.Rand) *Store {
 	}
 }
 
+// Clone returns a deep copy of the store at its current state, including the
+// generator's exact stream position (so a clone draws the same future
+// first-non-zero offsets and hashes the original would). The precomputed
+// geometric table is shared — it is immutable once built and fully determined
+// by (geoMean, PageSize), so sharing it is safe and skips a rebuild.
+func (s *Store) Clone() *Store {
+	return &Store{
+		hashes:           append([]uint64(nil), s.hashes...),
+		fnz:              append([]uint16(nil), s.fnz...),
+		rng:              s.rng.Clone(),
+		MeanFirstNonZero: s.MeanFirstNonZero,
+		geo:              s.geo,
+		geoMean:          s.geoMean,
+	}
+}
+
+// Pristine reports whether no page content was ever recorded: every hash
+// and first-non-zero offset is still zero, as on a freshly built machine.
+// Machine warm-ups that never run application writes (build + fragment)
+// leave the store pristine; the snapshot layer checks once and then forks
+// with CloneFresh.
+func (s *Store) Pristine() bool {
+	for _, h := range s.hashes {
+		if h != ZeroHash {
+			return false
+		}
+	}
+	for _, o := range s.fnz {
+		if o != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CloneFresh is Clone for a store Pristine reports true for: the per-frame
+// tables are allocated zeroed instead of copied, which halves the memory
+// traffic of the fork. The caller is responsible for the pristineness check
+// — on a pristine store the result is indistinguishable from Clone's.
+func (s *Store) CloneFresh() *Store {
+	return &Store{
+		hashes:           make([]uint64, len(s.hashes)),
+		fnz:              make([]uint16, len(s.fnz)),
+		rng:              s.rng.Clone(),
+		MeanFirstNonZero: s.MeanFirstNonZero,
+		geo:              s.geo,
+		geoMean:          s.geoMean,
+	}
+}
+
 // Get returns the signature of a frame.
 func (s *Store) Get(f mem.FrameID) Signature {
 	return Signature{Hash: s.hashes[f], FirstNonZero: s.fnz[f]}
@@ -94,6 +144,28 @@ func (s *Store) Write(f mem.FrameID) {
 	}
 	s.hashes[f] = h
 	s.fnz[f] = s.firstNonZero()
+}
+
+// WriteRepeat records n consecutive Write calls to the same frame in closed
+// form. Only the final write's hash and first-non-zero offset are
+// observable — each write overwrites the previous — and Write consumes
+// exactly two generator draws regardless of the values drawn (the hash
+// Uint64 and the Float64 inside GeometricTable.Draw; one draw when the
+// generator is drawless, mean <= 0), so the first n-1 writes reduce to
+// advancing the stream and the last runs in full. State and stream position
+// are bit-identical to n scalar Write calls.
+func (s *Store) WriteRepeat(f mem.FrameID, n int) {
+	if n <= 0 {
+		return
+	}
+	draws := n - 1 // hash draw per skipped write
+	if s.MeanFirstNonZero > 0 {
+		draws *= 2 // plus the first-non-zero draw
+	}
+	for i := 0; i < draws; i++ {
+		s.rng.Uint64()
+	}
+	s.Write(f)
 }
 
 // WriteShared records a write of logically shared data (e.g. a page of a VM

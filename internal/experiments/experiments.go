@@ -15,6 +15,7 @@ import (
 	"hawkeye/internal/mem"
 	"hawkeye/internal/policy"
 	"hawkeye/internal/sim"
+	"hawkeye/internal/snapshot"
 	"hawkeye/internal/trace"
 	"hawkeye/internal/workload"
 )
@@ -49,6 +50,13 @@ type Options struct {
 	// Traces, when non-nil, collects each traced machine's recorder (and
 	// its sampled counter series) for export after the run.
 	Traces *TraceSet
+	// NoSnapshotCache disables the warm-up snapshot cache: every machine is
+	// built (and fragmented) from scratch instead of forked from a cached
+	// snapshot. Output is byte-identical either way — the fork path is held
+	// to that contract by TestSnapshotForkMatchesFresh — so this is an
+	// escape hatch for timing the uncached path and for A/B-ing the cache
+	// itself (hawkeye-bench -no-snapshot-cache).
+	NoSnapshotCache bool
 }
 
 // Metrics aggregates simulation counters across every machine an experiment
@@ -315,7 +323,30 @@ func (o Options) kernelConfig() kernel.Config {
 
 // newKernel builds a machine for an experiment.
 func newKernel(o Options, pol kernel.Policy) *kernel.Kernel {
-	k := kernel.New(o.kernelConfig(), pol)
+	return newKernelFragmented(o, pol, 0, 0)
+}
+
+// newKernelFragmented builds a machine pre-fragmented with
+// FragmentMemoryPinned(keep, pinned) (keep <= 0 = no fragmentation). The
+// build-and-fragment warm-up is a shared prefix across every policy of an
+// experiment, so by default it runs once per configuration through the
+// process-wide snapshot cache and each machine is forked from the frozen
+// result — bit-identical to fresh construction, minus the repeated warm-up.
+//
+// Unfragmented machines (keep <= 0) are always built directly: there is no
+// warm-up to amortize, and deep-copying a full-size machine image costs more
+// than constructing a fresh, mostly-empty one.
+func newKernelFragmented(o Options, pol kernel.Policy, keep, pinned float64) *kernel.Kernel {
+	cfg := o.kernelConfig()
+	var k *kernel.Kernel
+	if o.NoSnapshotCache || keep <= 0 {
+		k = kernel.New(cfg, pol)
+		if keep > 0 {
+			k.FragmentMemoryPinned(keep, pinned)
+		}
+	} else {
+		k = snapshot.Fork(cfg, pol, keep, pinned)
+	}
 	o.observe(k)
 	return k
 }
@@ -335,10 +366,7 @@ type runResult struct {
 // runConcurrent runs the given workload instances together under one policy
 // and collects results. fragmentKeep > 0 pre-fragments the machine.
 func runConcurrent(o Options, pol kernel.Policy, insts []*workload.Instance, names []string, fragmentKeep float64, deadline sim.Time) ([]runResult, *kernel.Kernel, error) {
-	k := newKernel(o, pol)
-	if fragmentKeep > 0 {
-		k.FragmentMemory(fragmentKeep)
-	}
+	k := newKernelFragmented(o, pol, fragmentKeep, kernel.DefaultPinnedChunkFrac)
 	procs := make([]*kernel.Proc, len(insts))
 	for i, inst := range insts {
 		procs[i] = k.Spawn(names[i], inst.Program)

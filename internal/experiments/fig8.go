@@ -64,8 +64,7 @@ func Fig8(o Options) (*Table, error) {
 // runHeterogeneous runs one (sensitive app, redis-light) pair and returns
 // the app's runtime and both processes' huge mappings.
 func runHeterogeneous(o Options, pol kernel.Policy, spec workload.Spec, appFirst bool) (sim.Time, mem.Regions, mem.Regions, error) {
-	k := newKernel(o, pol)
-	k.FragmentMemory(fragKeep)
+	k := newKernelFragmented(o, pol, fragKeep, kernel.DefaultPinnedChunkFrac)
 	redisSpec := workload.Lookup("redis-light")
 	redisInst := workload.New(redisSpec, o.Scale)
 	appInst := workload.New(spec, o.Scale)

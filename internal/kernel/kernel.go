@@ -426,8 +426,13 @@ func (k *Kernel) UsedFraction() float64 { return k.Alloc.UsedFraction() }
 // (e.g. 0.1); the cache pages are reclaimable under pressure but destroy
 // contiguity until reclaimed or compacted.
 func (k *Kernel) FragmentMemory(keep float64) {
-	k.FragmentMemoryPinned(keep, 0.35)
+	k.FragmentMemoryPinned(keep, DefaultPinnedChunkFrac)
 }
+
+// DefaultPinnedChunkFrac is the fraction of 2 MB chunks FragmentMemory pins
+// with an unmovable kernel page — exported so the snapshot cache can key
+// warm-ups on the exact fragmentation parameters.
+const DefaultPinnedChunkFrac = 0.35
 
 // FragmentMemoryPinned is FragmentMemory with explicit control over the
 // fraction of 2 MB chunks that receive a permanently unmovable kernel page

@@ -1,0 +1,37 @@
+package mem
+
+// Clone returns a deep copy of the allocator: free lists, per-frame state,
+// the zero-content bitmap, the page-cache LIFO and every statistic. The copy
+// shares no mutable state with the original — mutating either side never
+// affects the other. The trace recorder and the compaction Mover are NOT
+// carried over (both reference the machine the allocator belongs to); the
+// caller re-attaches them with SetTrace and SetMover on the new machine.
+func (a *Allocator) Clone() *Allocator {
+	c := &Allocator{
+		frames:   append([]frame(nil), a.frames...),
+		next:     append([]int32(nil), a.next...),
+		prev:     append([]int32(nil), a.prev...),
+		zeroBits: append([]uint64(nil), a.zeroBits...),
+
+		heads:  a.heads,
+		counts: a.counts,
+
+		totalPages:    a.totalPages,
+		freePages:     a.freePages,
+		zeroFreePages: a.zeroFreePages,
+		peakAllocated: a.peakAllocated,
+		tagPages:      a.tagPages,
+
+		ReclaimedPages:  a.ReclaimedPages,
+		CompactedBlocks: a.CompactedBlocks,
+		MovedFrames:     a.MovedFrames,
+		FailedMoves:     a.FailedMoves,
+	}
+	// NewAllocator pre-sizes the LIFO to the whole machine so the first
+	// fragmentation pass never reallocates; clones are forked from machines
+	// that already fragmented (or never will), so a length-sized copy
+	// avoids zeroing megabytes of unused capacity on every fork. If a clone
+	// does grow the LIFO again it merely pays append's amortized realloc.
+	c.fileLIFO = append([]FrameID(nil), a.fileLIFO...)
+	return c
+}

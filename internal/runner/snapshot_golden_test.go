@@ -1,0 +1,47 @@
+package runner
+
+import "testing"
+
+// TestSnapshotForkMatchesFresh is the snapshot/fork equivalence gate: the
+// experiments that pre-fragment their machines (and therefore fork them from
+// the process-wide warm-up cache) run twice — once with the cache and once
+// with NoSnapshotCache forcing a fresh build-and-fragment per machine — and
+// the rendered tables must be byte-identical. Fork earns its speedup purely
+// by replaying a deep copy of the warmed-up state, so any divergence (a
+// substrate field missed by a clone, an RNG stream off by one draw, an event
+// scheduled in a different order) is a bug, not noise.
+func TestSnapshotForkMatchesFresh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs fragmented experiments twice; skipped in -short")
+	}
+	if raceEnabled {
+		// The comparison is about deterministic output equality, which race
+		// instrumentation cannot affect; the race suite still exercises
+		// concurrent forks via the parallel-runner tests.
+		t.Skip("skipped under -race: ~10x slower and race-insensitive by construction")
+	}
+	// The experiments that fragment memory before running — the only users
+	// of the snapshot cache.
+	ids := []string{"fig5", "fig8"}
+	opts := testOpts()
+
+	freshOpts := opts
+	freshOpts.NoSnapshotCache = true
+	fresh := make(map[string]string, len(ids))
+	for _, res := range Run(ids, freshOpts, 0) {
+		if res.Error != "" {
+			t.Fatalf("fresh %s: %s", res.ID, res.Error)
+		}
+		fresh[res.ID] = res.Table
+	}
+
+	for _, res := range Run(ids, opts, 0) {
+		if res.Error != "" {
+			t.Fatalf("cached %s: %s", res.ID, res.Error)
+		}
+		if res.Table != fresh[res.ID] {
+			t.Errorf("%s: snapshot-forked output differs from fresh build\nfresh:\n%s\nforked:\n%s",
+				res.ID, fresh[res.ID], res.Table)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package sim
+
+import "testing"
+
+// TestDivisorMatchesHardwareMod brute-forces Divisor.Rem against the
+// hardware % across divisor shapes (tiny, powers of two, around powers of
+// two, huge) and argument extremes — the two must agree on every input for
+// Int63nDiv to be interchangeable with Int63n mid-stream.
+func TestDivisorMatchesHardwareMod(t *testing.T) {
+	divisors := []uint64{1, 2, 3, 5, 7, 8, 63, 64, 65, 1000, 1 << 20, (1 << 20) + 1,
+		(1 << 42) - 1, 1 << 42, 911, 123456789, 1<<63 - 25, 1 << 63, ^uint64(0)}
+	args := []uint64{0, 1, 2, 63, 64, 1<<32 - 1, 1 << 32, 1<<42 + 7, 1<<63 - 1, 1 << 63, ^uint64(0), ^uint64(0) - 1}
+	r := NewRand(42)
+	for i := 0; i < 2000; i++ {
+		args = append(args, r.Uint64())
+	}
+	for i := 0; i < 50; i++ {
+		divisors = append(divisors, 1+r.Uint64()%(1<<40))
+	}
+	for _, n := range divisors {
+		d := NewDivisor(n)
+		for _, x := range args {
+			if got, want := d.Rem(x), x%n; got != want {
+				t.Fatalf("Divisor(%d).Rem(%d) = %d, want %d", n, x, got, want)
+			}
+		}
+	}
+}
+
+// TestInt63nDivMatchesInt63n checks the Rand-level wrappers stay stream- and
+// value-identical.
+func TestInt63nDivMatchesInt63n(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for _, n := range []int64{1, 2, 911, 1 << 30, 1<<62 + 3} {
+		d := NewDivisor(uint64(n))
+		for i := 0; i < 100; i++ {
+			if got, want := a.Int63nDiv(&d), b.Int63n(n); got != want {
+				t.Fatalf("Int63nDiv(%d) = %d, want %d", n, got, want)
+			}
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package sim
 
+import "math/bits"
+
 // Rand is a small, fast, deterministic PRNG (xoshiro256**) seeded through
 // splitmix64. It intentionally avoids math/rand so that simulator results
 // are stable across Go releases.
@@ -60,6 +62,58 @@ func (r *Rand) Int63n(n int64) int64 {
 	return int64(r.Uint64() % uint64(n))
 }
 
+// Divisor is a fixed modulus with Lemire's 128-bit reciprocal precomputed:
+// Rem returns exactly x % N for every x — the same value the hardware
+// divide in Int63n produces — using three multiplies instead of a ~30-cycle
+// div. Samplers draw millions of bounded values per run against a divisor
+// that is constant for a whole phase, which makes the one-time precompute
+// free and the per-draw saving material.
+type Divisor struct {
+	N        uint64
+	chi, clo uint64 // ceil(2^128 / N), valid for N >= 2
+}
+
+// NewDivisor precomputes the reciprocal of n (n > 0).
+func NewDivisor(n uint64) Divisor {
+	if n == 0 {
+		panic("sim: Divisor with zero modulus")
+	}
+	d := Divisor{N: n}
+	if n < 2 {
+		return d // x % 1 == 0; Rem special-cases it
+	}
+	// ceil(2^128/n) == floor((2^128-1)/n) + 1 for every n >= 2 (equality
+	// also holds for powers of two). Long division of the all-ones 128-bit
+	// value by n, then a 128-bit increment.
+	q1, r1 := ^uint64(0)/n, ^uint64(0)%n
+	q0, _ := bits.Div64(r1, ^uint64(0), n)
+	d.clo, d.chi = bits.Add64(q0, 1, 0)
+	d.chi += q1
+	return d
+}
+
+// Rem returns x % d.N.
+func (d Divisor) Rem(x uint64) uint64 {
+	if d.N < 2 {
+		return 0
+	}
+	// lowbits = (c * x) mod 2^128, then x % N = ((lowbits * N) >> 128).
+	p1hi, p1lo := bits.Mul64(d.clo, x)
+	lhi := d.chi*x + p1hi
+	llo := p1lo
+	q1hi, _ := bits.Mul64(llo, d.N)
+	q2hi, q2lo := bits.Mul64(lhi, d.N)
+	_, carry := bits.Add64(q1hi, q2lo, 0)
+	return q2hi + carry
+}
+
+// Int63nDiv is Int63n against a precomputed Divisor: it consumes exactly
+// one Uint64 draw and returns exactly Int63n(int64(d.N))'s value, so the
+// two are interchangeable mid-stream.
+func (r *Rand) Int63nDiv(d *Divisor) int64 {
+	return int64(d.Rem(r.Uint64()))
+}
+
 // Float64 returns a uniform float64 in [0, 1).
 func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
@@ -112,8 +166,15 @@ func (r *Rand) Geometric(mean float64, max int) int {
 // advance for any u > 0).
 type GeometricTable struct {
 	acc      []float64
-	drawless bool // mean <= 0: Geometric returns 0 without consuming a draw
+	start    []int32 // per-bucket scan start: see Draw
+	drawless bool    // mean <= 0: Geometric returns 0 without consuming a draw
 }
+
+// geoBuckets is the resolution of the Draw fast path: the unit interval is
+// cut into this many equal buckets, each remembering how far into acc a draw
+// landing there may skip. More buckets shorten the residual scan; 256 already
+// brings the expected scan under one step for the means used here.
+const geoBuckets = 256
 
 // NewGeometricTable builds the threshold table for Geometric(mean, max).
 func NewGeometricTable(mean float64, max int) *GeometricTable {
@@ -129,10 +190,26 @@ func NewGeometricTable(mean float64, max int) *GeometricTable {
 		t.acc = append(t.acc, acc)
 		acc *= q
 	}
+	// start[b] is the first index whose threshold is <= the bucket's upper
+	// edge (b+1)/geoBuckets. Every earlier entry exceeds the edge, hence
+	// exceeds any u in the bucket, so Draw's scan may begin there: the skip
+	// never changes which index the scan stops at. Thresholds descend, so a
+	// single backward sweep fills all buckets.
+	t.start = make([]int32, geoBuckets)
+	x := int32(0)
+	for b := geoBuckets - 1; b >= 0; b-- {
+		edge := float64(b+1) / geoBuckets
+		for int(x) < len(t.acc) && t.acc[x] > edge {
+			x++
+		}
+		t.start[b] = x
+	}
 	return t
 }
 
-// Draw samples the precomputed distribution using r's stream.
+// Draw samples the precomputed distribution using r's stream. It returns the
+// index of the first threshold not exceeding u; the bucket table supplies a
+// proven-safe starting point so the residual linear scan is O(1) on average.
 func (t *GeometricTable) Draw(r *Rand) int {
 	if t.drawless {
 		return 0
@@ -141,7 +218,9 @@ func (t *GeometricTable) Draw(r *Rand) int {
 	if u == 0 {
 		u = 0.5
 	}
-	x := 0
+	// u < 1, and u*geoBuckets is exact (power-of-two scale), so the index
+	// stays in range.
+	x := int(t.start[int(u*geoBuckets)])
 	for x < len(t.acc) && u < t.acc[x] {
 		x++
 	}
@@ -160,4 +239,13 @@ func (r *Rand) Shuffle(n int, swap func(i, j int)) {
 // own stream so adding a workload does not perturb the others.
 func (r *Rand) Fork() *Rand {
 	return NewRand(r.Uint64())
+}
+
+// Clone returns an exact copy of the generator at its current stream
+// position: the clone and the original produce the same future draws while
+// advancing independently. Unlike Fork, Clone consumes no draw — it is the
+// snapshot/restore primitive, not a stream splitter.
+func (r *Rand) Clone() *Rand {
+	c := *r
+	return &c
 }

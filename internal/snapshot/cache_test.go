@@ -1,0 +1,97 @@
+package snapshot
+
+import (
+	"sync"
+	"testing"
+
+	"hawkeye/internal/kernel"
+)
+
+func testCfg() kernel.Config {
+	cfg := kernel.DefaultConfig()
+	cfg.MemoryBytes = 32 << 20
+	return cfg
+}
+
+// TestForSingleflight holds the cache's concurrency contract: many
+// goroutines requesting the same key get the one shared Snapshot, built
+// exactly once; a different key gets a different warm-up.
+func TestForSingleflight(t *testing.T) {
+	Reset()
+	defer Reset()
+
+	const workers = 8
+	snaps := make([]*kernel.Snapshot, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			snaps[i] = For(testCfg(), 0.3, kernel.DefaultPinnedChunkFrac)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if snaps[i] != snaps[0] {
+			t.Fatalf("worker %d got a different snapshot for the same key", i)
+		}
+	}
+	if other := For(testCfg(), 0.6, kernel.DefaultPinnedChunkFrac); other == snaps[0] {
+		t.Fatal("different fragmentation keep shared a snapshot")
+	}
+}
+
+// TestForkMatchesDirectBuild pins the documented equivalence: a cache fork
+// and a direct kernel.New + FragmentMemoryPinned with the same parameters
+// describe the same machine.
+func TestForkMatchesDirectBuild(t *testing.T) {
+	Reset()
+	defer Reset()
+
+	cfg := testCfg()
+	forked := Fork(cfg, nil, 0.3, kernel.DefaultPinnedChunkFrac)
+
+	direct := kernel.New(cfg, nil)
+	direct.FragmentMemoryPinned(0.3, kernel.DefaultPinnedChunkFrac)
+
+	if f, d := forked.Alloc.FreePages(), direct.Alloc.FreePages(); f != d {
+		t.Errorf("free pages differ: forked %d, direct %d", f, d)
+	}
+	if f, d := forked.Alloc.AllocatedPages(), direct.Alloc.AllocatedPages(); f != d {
+		t.Errorf("allocated pages differ: forked %d, direct %d", f, d)
+	}
+	for order := 0; order <= 9; order++ {
+		if f, d := forked.Alloc.FreeBlocks(order), direct.Alloc.FreeBlocks(order); f != d {
+			t.Errorf("order-%d free blocks differ: forked %d, direct %d", order, f, d)
+		}
+	}
+}
+
+// TestResetDropsEntries checks the isolation hook: after Reset, the same key
+// warms up again and yields a distinct Snapshot.
+func TestResetDropsEntries(t *testing.T) {
+	Reset()
+	defer Reset()
+
+	first := For(testCfg(), 0.3, kernel.DefaultPinnedChunkFrac)
+	Reset()
+	second := For(testCfg(), 0.3, kernel.DefaultPinnedChunkFrac)
+	if first == second {
+		t.Fatal("Reset did not drop the cached snapshot")
+	}
+}
+
+// TestForRejectsSharedEngine pins the precondition panic.
+func TestForRejectsSharedEngine(t *testing.T) {
+	Reset()
+	defer Reset()
+
+	defer func() {
+		if recover() == nil {
+			t.Error("For with a shared engine did not panic")
+		}
+	}()
+	cfg := testCfg()
+	cfg.Engine = kernel.New(testCfg(), nil).Engine
+	For(cfg, 0.3, kernel.DefaultPinnedChunkFrac)
+}

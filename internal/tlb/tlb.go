@@ -54,21 +54,6 @@ func HaswellEP() Config {
 	}
 }
 
-// entry is one TLB entry, with the tag packed into a single word so a probe
-// compares one uint64 per way instead of four fields, and an entry is 16
-// bytes instead of 32 (four ways per cache line). A zero key is "invalid":
-// every valid key has the top bit set.
-//
-// Invariant: an invalid entry always has lru == 0, and a valid entry always
-// has lru >= 1 (the tick pre-increments before stamping). Victim selection
-// is therefore a single min-lru scan: among invalid entries the strict <
-// comparison picks the first one, and any invalid entry beats any valid
-// one — exactly the "first invalid, else least recently used" policy.
-type entry struct {
-	key entryKey
-	lru uint64
-}
-
 // entryKey packs (valid, pid, huge, page) into one comparable word:
 // bit 63 = valid, bits 62..43 = pid, bit 42 = huge, bits 41..0 = page.
 type entryKey uint64
@@ -94,12 +79,24 @@ func (k entryKey) page() int64 { return int64(k & (1<<42 - 1)) }
 
 // setAssoc is a set-associative array with LRU replacement. The set count is
 // always a power of two (like real TLB hardware), so indexing is a mask
-// instead of a modulo, and all sets live in one flat backing array.
+// instead of a modulo. Tags and recency stamps live in two parallel flat
+// arrays rather than an array of pairs: a probe's tag scan — the part every
+// lookup executes — then walks contiguous 8-byte keys (a whole 8-way set in
+// one cache line) and the stamps are only touched on a hit (one store) or
+// during victim selection on a miss.
+//
+// Invariant: an invalid slot (zero key; every valid key has its top bit set)
+// always has lru == 0, and a valid slot always has lru >= 1 (the tick
+// pre-increments before stamping). Victim selection is therefore a single
+// min-lru scan: among invalid slots the strict < comparison picks the first
+// one, and any invalid slot beats any valid one — exactly the "first
+// invalid, else least recently used" policy.
 type setAssoc struct {
-	entries []entry // nsets × assoc, set i at [i*assoc, (i+1)*assoc)
-	mask    uint64  // nsets - 1
-	assoc   int
-	tick    uint64
+	keys  []entryKey // nsets × assoc, set i at [i*assoc, (i+1)*assoc)
+	lrus  []uint64   // recency stamps, same layout
+	mask  uint64     // nsets - 1
+	assoc int
+	tick  uint64
 }
 
 func newSetAssoc(entries, assoc int) *setAssoc {
@@ -110,22 +107,23 @@ func newSetAssoc(entries, assoc int) *setAssoc {
 	if nsets < 1 {
 		nsets = 1
 	}
-	// Round down to a power of two so setFor can mask. Hardware TLB
+	// Round down to a power of two so indexing can mask. Hardware TLB
 	// geometries (and every Config in this repo) are already powers of two;
 	// odd configs lose at most half their sets.
 	for nsets&(nsets-1) != 0 {
 		nsets &= nsets - 1
 	}
 	return &setAssoc{
-		assoc:   assoc,
-		mask:    uint64(nsets - 1),
-		entries: make([]entry, nsets*assoc),
+		assoc: assoc,
+		mask:  uint64(nsets - 1),
+		keys:  make([]entryKey, nsets*assoc),
+		lrus:  make([]uint64, nsets*assoc),
 	}
 }
 
-func (s *setAssoc) setFor(page int64) []entry {
-	idx := uint64(page) & s.mask
-	return s.entries[int(idx)*s.assoc : (int(idx)+1)*s.assoc]
+// setBase returns the index of the first slot of page's set.
+func (s *setAssoc) setBase(page int64) int {
+	return int(uint64(page)&s.mask) * s.assoc
 }
 
 // lookup probes without inserting.
@@ -139,18 +137,19 @@ func (s *setAssoc) lookup(pid int32, page int64, huge bool) bool {
 func (s *setAssoc) insert(pid int32, page int64, huge bool) {
 	s.tick++
 	key := makeKey(pid, page, huge)
-	set := s.setFor(page)
-	victim := 0
-	for i := range set {
-		if !set[i].key.valid() {
+	base := s.setBase(page)
+	victim := base
+	for i := base; i < base+s.assoc; i++ {
+		if !s.keys[i].valid() {
 			victim = i
 			break
 		}
-		if set[i].lru < set[victim].lru {
+		if s.lrus[i] < s.lrus[victim] {
 			victim = i
 		}
 	}
-	set[victim] = entry{key: key, lru: s.tick}
+	s.keys[victim] = key
+	s.lrus[victim] = s.tick
 }
 
 // probe is lookup fused with victim selection, answering the lookup and, on
@@ -163,46 +162,80 @@ func (s *setAssoc) insert(pid int32, page int64, huge bool) {
 func (s *setAssoc) probe(key entryKey, page int64) (hit bool, victim int) {
 	s.tick++
 	if s.assoc == 4 {
-		idx := int(uint64(page)&s.mask) * 4
-		set := s.entries[idx : idx+4 : idx+4]
-		if set[0].key == key {
-			set[0].lru = s.tick
+		idx := s.setBase(page)
+		keys := s.keys[idx : idx+4 : idx+4]
+		if keys[0] == key {
+			s.lrus[idx] = s.tick
 			return true, 0
 		}
-		if set[1].key == key {
-			set[1].lru = s.tick
+		if keys[1] == key {
+			s.lrus[idx+1] = s.tick
 			return true, 0
 		}
-		if set[2].key == key {
-			set[2].lru = s.tick
+		if keys[2] == key {
+			s.lrus[idx+2] = s.tick
 			return true, 0
 		}
-		if set[3].key == key {
-			set[3].lru = s.tick
+		if keys[3] == key {
+			s.lrus[idx+3] = s.tick
 			return true, 0
 		}
-		best := set[0].lru
-		if set[1].lru < best {
-			best, victim = set[1].lru, 1
+		lrus := s.lrus[idx : idx+4 : idx+4]
+		best := lrus[0]
+		if lrus[1] < best {
+			best, victim = lrus[1], 1
 		}
-		if set[2].lru < best {
-			best, victim = set[2].lru, 2
+		if lrus[2] < best {
+			best, victim = lrus[2], 2
 		}
-		if set[3].lru < best {
+		if lrus[3] < best {
 			victim = 3
 		}
 		return false, victim
 	}
-	set := s.setFor(page)
+	if s.assoc == 8 {
+		idx := s.setBase(page)
+		keys := s.keys[idx : idx+8 : idx+8]
+		for i := range keys {
+			if keys[i] == key {
+				s.lrus[idx+i] = s.tick
+				return true, 0
+			}
+		}
+		lrus := s.lrus[idx : idx+8 : idx+8]
+		best := lrus[0]
+		if lrus[1] < best {
+			best, victim = lrus[1], 1
+		}
+		if lrus[2] < best {
+			best, victim = lrus[2], 2
+		}
+		if lrus[3] < best {
+			best, victim = lrus[3], 3
+		}
+		if lrus[4] < best {
+			best, victim = lrus[4], 4
+		}
+		if lrus[5] < best {
+			best, victim = lrus[5], 5
+		}
+		if lrus[6] < best {
+			best, victim = lrus[6], 6
+		}
+		if lrus[7] < best {
+			victim = 7
+		}
+		return false, victim
+	}
+	base := s.setBase(page)
 	bestLRU := ^uint64(0)
-	for i := range set {
-		e := &set[i]
-		if e.key == key {
-			e.lru = s.tick
+	for i := 0; i < s.assoc; i++ {
+		if s.keys[base+i] == key {
+			s.lrus[base+i] = s.tick
 			return true, 0
 		}
-		if e.lru < bestLRU {
-			bestLRU = e.lru
+		if s.lrus[base+i] < bestLRU {
+			bestLRU = s.lrus[base+i]
 			victim = i
 		}
 	}
@@ -213,8 +246,9 @@ func (s *setAssoc) probe(key entryKey, page int64) (hit bool, victim int) {
 // same tick accounting insert performs.
 func (s *setAssoc) fill(victim int, key entryKey, page int64) {
 	s.tick++
-	set := s.setFor(page)
-	set[victim] = entry{key: key, lru: s.tick}
+	base := s.setBase(page)
+	s.keys[base+victim] = key
+	s.lrus[base+victim] = s.tick
 }
 
 // touchRepeats applies n guaranteed L1 hits to an entry in closed form: n
@@ -222,11 +256,10 @@ func (s *setAssoc) fill(victim int, key entryKey, page int64) {
 // lru with it, leaving only the final stamp observable.
 func (s *setAssoc) touchRepeats(key entryKey, page int64, n int64) {
 	s.tick += uint64(n)
-	set := s.setFor(page)
-	for i := range set {
-		e := &set[i]
-		if e.key == key {
-			e.lru = s.tick
+	base := s.setBase(page)
+	for i := 0; i < s.assoc; i++ {
+		if s.keys[base+i] == key {
+			s.lrus[base+i] = s.tick
 			return
 		}
 	}
@@ -237,10 +270,11 @@ func (s *setAssoc) touchRepeats(key entryKey, page int64, n int64) {
 // than a callback-per-entry matcher) keeps this allocation-free and
 // branch-predictable — it runs on every process exit and large unmap.
 func (s *setAssoc) invalidatePID(pid int32) {
-	for i := range s.entries {
-		k := s.entries[i].key
+	for i := range s.keys {
+		k := s.keys[i]
 		if k.valid() && k.pid() == pid {
-			s.entries[i] = entry{}
+			s.keys[i] = 0
+			s.lrus[i] = 0
 		}
 	}
 }
@@ -248,17 +282,19 @@ func (s *setAssoc) invalidatePID(pid int32) {
 // invalidateRange drops a process's base entries with page in [lo, hi) and
 // its huge entries with page == region.
 func (s *setAssoc) invalidateRange(pid int32, lo, hi, region int64) {
-	for i := range s.entries {
-		k := s.entries[i].key
+	for i := range s.keys {
+		k := s.keys[i]
 		if !k.valid() || k.pid() != pid {
 			continue
 		}
 		if k.huge() {
 			if k.page() == region {
-				s.entries[i] = entry{}
+				s.keys[i] = 0
+				s.lrus[i] = 0
 			}
 		} else if p := k.page(); p >= lo && p < hi {
-			s.entries[i] = entry{}
+			s.keys[i] = 0
+			s.lrus[i] = 0
 		}
 	}
 }
@@ -309,6 +345,36 @@ func New(cfg Config) *TLB {
 
 // Config returns the TLB's configuration.
 func (t *TLB) Config() Config { return t.cfg }
+
+// clone deep-copies a set-associative array, including the LRU tick, so the
+// copy's future victim choices match the original's exactly.
+func (s *setAssoc) clone() *setAssoc {
+	return &setAssoc{
+		keys:  append([]entryKey(nil), s.keys...),
+		lrus:  append([]uint64(nil), s.lrus...),
+		mask:  s.mask,
+		assoc: s.assoc,
+		tick:  s.tick,
+	}
+}
+
+// Clone returns a deep copy of the TLB: every entry of every level, the LRU
+// ticks and the hit/miss counters. Future accesses on the clone hit, miss and
+// evict exactly as they would have on the original; mutating either side
+// never affects the other. Tracing hooks are not carried over — the new
+// machine re-attaches them with SetTrace.
+func (t *TLB) Clone() *TLB {
+	return &TLB{
+		cfg:     t.cfg,
+		l1Base:  t.l1Base.clone(),
+		l1Huge:  t.l1Huge.clone(),
+		l2:      t.l2.clone(),
+		Lookups: t.Lookups,
+		L1Hits:  t.L1Hits,
+		L2Hits:  t.L2Hits,
+		Misses:  t.Misses,
+	}
+}
 
 // Access translates (pid, page) where page is a VPN for base mappings or a
 // region index for huge mappings, updating the hierarchy. Probe and fill are

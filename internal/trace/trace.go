@@ -36,13 +36,15 @@ const (
 	KindSwapIn
 	KindTLBShootdown
 	KindWatermarkCross
+	KindSnapshotCreate
+	KindSnapshotFork
 	kindCount
 )
 
 var kindNames = [kindCount]string{
 	"page_fault", "promote_region", "demote_region", "compaction_pass",
 	"dedup_merge", "dedup_break", "swap_out", "swap_in",
-	"tlb_shootdown", "watermark_cross",
+	"tlb_shootdown", "watermark_cross", "snapshot_create", "snapshot_fork",
 }
 
 // String returns the stable wire name of the kind (used in every exporter).
@@ -298,4 +300,24 @@ func (r *Recorder) WatermarkCross(level int32, freePages int64) {
 		return
 	}
 	r.Emit(Event{Kind: KindWatermarkCross, Origin: OriginMM, PID: -1, Region: -1, N: freePages, Aux: int64(level)})
+}
+
+// SnapshotCreate records a machine-state snapshot being captured: N is the
+// allocated page count and Aux the free page count at capture time — both
+// deterministic functions of simulation state, so traces stay byte-identical
+// across runs and across the parallel runner's worker interleavings.
+func (r *Recorder) SnapshotCreate(allocatedPages, freePages int64) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Kind: KindSnapshotCreate, Origin: OriginMM, PID: -1, Region: -1, N: allocatedPages, Aux: freePages})
+}
+
+// SnapshotFork records a machine being forked from a snapshot (warm-up
+// reuse), with the same deterministic payload as SnapshotCreate.
+func (r *Recorder) SnapshotFork(allocatedPages, freePages int64) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Kind: KindSnapshotFork, Origin: OriginMM, PID: -1, Region: -1, N: allocatedPages, Aux: freePages})
 }

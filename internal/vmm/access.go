@@ -94,9 +94,12 @@ func (v *VMM) AccessResolved(r *Region, slot int, write bool) TouchResult {
 // AccessRepeat applies the residual MMU effects of n re-touches of an
 // already-settled mapping. Read repeats are fully absorbed by the first
 // access (the access bit is already set), so only write repeats do work:
-// each one must replay the content-store write — Write consumes the store's
-// RNG stream, so skipping it would desynchronize modelled page contents from
-// the scalar path — and the (idempotent) dirty marking.
+// the content-store writes collapse to their closed form — WriteRepeat
+// advances the store's RNG stream exactly as n scalar Writes would, so
+// modelled page contents stay in sync with the scalar path — and the
+// idempotent dirty marking is applied once. Writes and dirty marks touch
+// disjoint state (store vs. allocator zero bitmap), so un-interleaving them
+// is unobservable.
 func (v *VMM) AccessRepeat(r *Region, slot int, write bool, n int) {
 	if !write || n <= 0 {
 		return
@@ -107,10 +110,8 @@ func (v *VMM) AccessRepeat(r *Region, slot int, write bool, n int) {
 	} else {
 		frame = r.PTEs[slot].Frame
 	}
-	for j := 0; j < n; j++ {
-		v.Content.Write(frame)
-		v.Alloc.MarkDirty(frame)
-	}
+	v.Content.WriteRepeat(frame, n)
+	v.Alloc.MarkDirty(frame)
 }
 
 // AccessShared is Access for writes of logically shared data (same key ⇒

@@ -1,0 +1,124 @@
+package vmm
+
+import (
+	"hawkeye/internal/content"
+	"hawkeye/internal/mem"
+)
+
+// Snapshot/fork support: deep copies of the virtual-memory layer. CloneInto
+// rebuilds the whole VMM — every address space (regions, PTE arrays, the
+// present/accessed/dirty bitmaps), the reverse map, the shared-frame
+// reference counts and the swap device — over an already-cloned allocator and
+// content store. The copy shares no mutable state with the original: mutating
+// a fork can never touch the parent (the aliasing tests checksum the parent
+// around fork mutations to hold this).
+
+// Clone returns a deep copy of the swap device, including the recycled-slot
+// LIFO whose order decides future slot assignment.
+func (d *SwapDevice) Clone() *SwapDevice {
+	return &SwapDevice{
+		base:  d.base,
+		slots: d.slots,
+		used:  d.used,
+		free:  append([]int64(nil), d.free...),
+		next:  d.next,
+	}
+}
+
+// clone returns a deep copy of the region. Regions hold only fixed-size
+// arrays and scalars, so a value copy is a complete deep copy.
+func (r *Region) clone() *Region {
+	c := *r
+	return &c
+}
+
+// cloneInto returns a deep copy of the process bound to the new VMM. The
+// one-entry software translation cache is reset rather than copied: its
+// pointers address the parent's regions, and the cache is a pure lookup
+// shortcut — state is always re-read through it — so starting cold changes
+// nothing observable.
+func (p *Process) cloneInto(v *VMM) *Process {
+	c := &Process{
+		PID:        p.PID,
+		Name:       p.Name,
+		Dead:       p.Dead,
+		vmm:        v,
+		regions:    make(map[RegionIndex]*Region, len(p.regions)),
+		order:      append([]RegionIndex(nil), p.order...),
+		dirtyOrder: true, // rebuild the sorted cache from the cloned regions
+		rss:        p.rss,
+		hugeMapped: p.hugeMapped,
+		Stats:      p.Stats,
+	}
+	// Walk the order slice, not the map: every live region appears in it
+	// exactly once, and the deterministic walk keeps this loop out of
+	// map-iteration order entirely.
+	for _, idx := range p.order {
+		r := p.regions[idx].clone()
+		c.regions[idx] = r
+		if idx >= 0 && idx < denseLimit {
+			if n := int(idx) + 1; n > len(c.dense) {
+				if n <= cap(c.dense) {
+					c.dense = c.dense[:n]
+				} else {
+					grown := make([]*Region, n, 2*n)
+					copy(grown, c.dense)
+					c.dense = grown
+				}
+			}
+			c.dense[idx] = r
+		}
+	}
+	return c
+}
+
+// RmapPristine reports whether the reverse map holds no entries — true on
+// any machine where no process ever mapped a page (file-cache fragmentation
+// happens below the VMM and leaves no reverse mappings). The snapshot layer
+// checks once per capture so forks of process-less machines can allocate
+// the largest per-machine table zeroed instead of copying it.
+func (v *VMM) RmapPristine() bool {
+	var zero mapping
+	for _, m := range v.rmap {
+		if m != zero {
+			return false
+		}
+	}
+	return true
+}
+
+// CloneInto returns a deep copy of the VMM rebuilt over the given (already
+// cloned) allocator and content store, and registers the copy as the new
+// allocator's compaction Mover — the same wiring New performs. The original
+// VMM, its processes and its allocator are left untouched. rmapPristine
+// asserts that RmapPristine holds (the snapshot layer verifies it once per
+// capture), letting the clone allocate its reverse map zeroed instead of
+// copying zeroes; pass false whenever the reverse map's state is unknown.
+func (v *VMM) CloneInto(alloc *mem.Allocator, store *content.Store, rmapPristine bool) *VMM {
+	rmap := make([]mapping, len(v.rmap))
+	if !rmapPristine {
+		copy(rmap, v.rmap)
+	}
+	c := &VMM{
+		Alloc:     alloc,
+		Content:   store,
+		nextPID:   v.nextPID,
+		rmap:      rmap,
+		refs:      make(map[mem.FrameID]int32, len(v.refs)),
+		ZeroFrame: v.ZeroFrame,
+	}
+	// Map-to-map copy: insertion order cannot affect the resulting map, so
+	// the iteration order of the source is immaterial here.
+	for f, n := range v.refs {
+		//lint:allow determinism order-insensitive map copy
+		c.refs[f] = n
+	}
+	for _, p := range v.procs {
+		c.procs = append(c.procs, p.cloneInto(c))
+	}
+	if v.Swap != nil {
+		c.Swap = v.Swap.Clone()
+	}
+	alloc.SetMover(c)
+	return c
+}

@@ -44,6 +44,36 @@ type Sampler struct {
 
 	seqPos int64
 	seqCnt int
+
+	// Per-phase sampling constants (see prepare): the hot-set size and the
+	// precomputed reciprocals of the bounded draws. Geometry is fixed for a
+	// whole phase, so Sample's per-access hardware divides and the hotspot
+	// float multiply collapse into a one-time setup.
+	prepPages mem.Pages
+	prepHot   float64
+	hotPages  mem.Pages
+	pagesDiv  sim.Divisor
+	hotDiv    sim.Divisor
+	coldDiv   sim.Divisor
+}
+
+// prepare derives the sampling constants for the current geometry. Sample
+// re-checks (Pages, HotFrac) on every call, so a sampler whose range is
+// re-pointed between phases re-prepares transparently.
+func (s *Sampler) prepare() {
+	s.prepPages, s.prepHot = s.Pages, s.HotFrac
+	s.pagesDiv = sim.NewDivisor(uint64(s.Pages))
+	hotPages := mem.Pages(float64(s.Pages) * s.HotFrac)
+	if hotPages < 1 {
+		hotPages = 1
+	}
+	s.hotPages = hotPages
+	s.hotDiv = sim.NewDivisor(uint64(hotPages))
+	cold := s.Pages - hotPages
+	if cold < 1 {
+		cold = s.Pages
+	}
+	s.coldDiv = sim.NewDivisor(uint64(cold))
 }
 
 var (
@@ -55,6 +85,9 @@ var (
 func (s *Sampler) Sample(r *sim.Rand) (vmm.VPN, bool) {
 	if s.Pages <= 0 {
 		return s.Base, false
+	}
+	if s.prepPages != s.Pages || s.prepHot != s.HotFrac {
+		s.prepare()
 	}
 	write := s.WriteFrac > 0 && r.Float64() < s.WriteFrac
 	switch s.Kind {
@@ -73,25 +106,17 @@ func (s *Sampler) Sample(r *sim.Rand) (vmm.VPN, bool) {
 		s.seqCnt++
 		if s.seqCnt >= app || s.seqPos == 0 {
 			s.seqCnt = 0
-			s.seqPos = 1 + r.Int63n(int64(s.Pages))
+			s.seqPos = 1 + r.Int63nDiv(&s.pagesDiv)
 		}
 		return s.Base.Advance(mem.Pages(s.seqPos - 1)), write
 	case Hotspot:
-		hotPages := mem.Pages(float64(s.Pages) * s.HotFrac)
-		if hotPages < 1 {
-			hotPages = 1
-		}
 		if r.Float64() < s.HotProb {
 			// Hot set lives at the top of the range.
-			return s.Base.Advance(s.Pages - hotPages + mem.Pages(r.Int63n(int64(hotPages)))), write
+			return s.Base.Advance(s.Pages - s.hotPages + mem.Pages(r.Int63nDiv(&s.hotDiv))), write
 		}
-		cold := s.Pages - hotPages
-		if cold < 1 {
-			cold = s.Pages
-		}
-		return s.Base.Advance(mem.Pages(r.Int63n(int64(cold)))), write
+		return s.Base.Advance(mem.Pages(r.Int63nDiv(&s.coldDiv))), write
 	default: // Uniform
-		return s.Base.Advance(mem.Pages(r.Int63n(int64(s.Pages)))), write
+		return s.Base.Advance(mem.Pages(r.Int63nDiv(&s.pagesDiv))), write
 	}
 }
 
