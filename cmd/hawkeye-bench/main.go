@@ -36,14 +36,88 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"strconv"
 	"strings"
 	"time"
 
 	"hawkeye/internal/experiments"
 	"hawkeye/internal/runner"
 	"hawkeye/internal/sim"
+	"hawkeye/internal/snapshot"
 	htrace "hawkeye/internal/trace"
 )
+
+// sweepFlags carries the raw -sweep-* flag values into runSweep.
+type sweepFlags struct {
+	workload   string
+	policies   string
+	thresholds string
+	seeds      int
+	keep       float64
+}
+
+// runSweep parses, validates and executes a sweep grid, printing rows as
+// CSV (to stderr when -json - owns stdout) and optionally the JSON report.
+// Returns the process exit code: 1 if any cell failed, else 0.
+func runSweep(sf sweepFlags, opts experiments.Options, parallel int, jsonOut string) int {
+	spec := experiments.SweepSpec{
+		Workload: sf.workload,
+		Policies: splitList(sf.policies),
+		Seeds:    sf.seeds,
+		FragKeep: sf.keep,
+	}
+	for _, s := range splitList(sf.thresholds) {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep-thresholds: bad value %q: %v\n", s, err)
+			return 2
+		}
+		spec.Thresholds = append(spec.Thresholds, v)
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	rep := runner.RunSweep(spec, opts, parallel)
+
+	csvTo := io.Writer(os.Stdout)
+	if jsonOut == "-" {
+		csvTo = os.Stderr
+	}
+	failed := 0
+	if err := rep.WriteCSV(csvTo); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep csv:", err)
+		failed++
+	}
+	for _, row := range rep.Rows {
+		if row.Error != "" {
+			fmt.Fprintf(os.Stderr, "sweep cell %s/%g/seed=%d: %s\n", row.Policy, row.Threshold, row.Seed, row.Error)
+			failed++
+		}
+	}
+	if jsonOut != "" {
+		if err := rep.WriteJSON(jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// splitList splits a comma-separated flag value, dropping empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
 
 func main() {
 	scale := flag.Float64("scale", 1.0/12, "footprint and machine scale relative to the paper's 96 GB host")
@@ -57,14 +131,41 @@ func main() {
 	traceOut := flag.String("trace", "", "write a runtime execution trace of the experiment runs to this path")
 	traceDir := flag.String("trace-events", "", "write per-machine simulation traces (JSONL, vmstat, Chrome JSON) into this directory")
 	traceSample := flag.Float64("trace-sample", 0, "sample vmstat counters every this many simulated seconds into per-machine CSVs (needs -trace-events)")
-	noSnapCache := flag.Bool("no-snapshot-cache", false, "build and fragment every machine from scratch instead of forking cached warm-up snapshots (output is byte-identical either way)")
+	noSnapCache := flag.Bool("no-snapshot-cache", false, "build and fragment every machine from scratch instead of forking cached warm-up snapshots, and make any remaining cache forks deep copies (output is byte-identical either way)")
+	snapCacheBytes := flag.Int64("snapshot-cache-bytes", 0, "cap the warm-up snapshot cache's resident bytes, evicting least-recently-forked images (0 = unlimited)")
+	sweep := flag.Bool("sweep", false, "run a (policy x threshold x seed) sweep grid instead of experiment IDs; rows print as CSV (schema hawkeye-sweep/v1 with -json)")
+	sweepWorkload := flag.String("sweep-workload", "graph500", "workload every sweep cell runs")
+	sweepPolicies := flag.String("sweep-policies", "linux,ingens,hawkeye-pmu", "comma-separated policies to sweep")
+	sweepThresholds := flag.String("sweep-thresholds", "0.3,0.6,0.9", "comma-separated per-policy aggressiveness settings")
+	sweepSeeds := flag.Int("sweep-seeds", 1, "seeds per (policy, threshold) point, numbered up from -seed")
+	sweepKeep := flag.Float64("sweep-keep", 0.15, "page-cache residue fragmenting each sweep machine (0 = pristine)")
 	flag.Parse()
+
+	// Cache knobs apply process-wide, before any machine is built. The
+	// bypass flag is the one-flag escape hatch to pre-COW semantics: fresh
+	// builds where the harness allows, deep forks anywhere it still forks.
+	if *noSnapCache {
+		snapshot.SetDeepForks(true)
+	}
+	if *snapCacheBytes > 0 {
+		snapshot.SetCacheBudget(*snapCacheBytes)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
 		return
+	}
+	if *sweep {
+		os.Exit(runSweep(sweepFlags{
+			workload:   *sweepWorkload,
+			policies:   *sweepPolicies,
+			thresholds: *sweepThresholds,
+			seeds:      *sweepSeeds,
+			keep:       *sweepKeep,
+		}, experiments.Options{Scale: *scale, Seed: *seed, Quick: *quick, NoSnapshotCache: *noSnapCache},
+			*parallel, *jsonOut))
 	}
 	args := flag.Args()
 	if len(args) == 0 {

@@ -10,6 +10,7 @@ import (
 func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, "testdata", determinism.Analyzer,
 		"hawkeye/internal/kernel",
+		"hawkeye/internal/mem/cow",
 		"hawkeye/internal/runner",
 	)
 }

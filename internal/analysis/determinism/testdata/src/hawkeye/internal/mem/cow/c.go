@@ -1,0 +1,50 @@
+// Package cow impersonates internal/mem/cow so the determinism analyzer's
+// first-path-segment rule ("mem" covers mem and everything nested under it)
+// is pinned by a test: copy-on-write table code is simulation code and must
+// stay free of wall-clock reads, global randomness and map-order leaks.
+package cow
+
+import (
+	"math/rand"
+	"time"
+)
+
+type table struct {
+	chunks map[int][]byte
+}
+
+func wallClockSeal() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+func randomChunkID() int {
+	return rand.Intn(1 << 12) // want `global math/rand`
+}
+
+func residentList(t *table) []int {
+	var ids []int
+	for ci := range t.chunks {
+		ids = append(ids, ci) // want `random order`
+	}
+	return ids
+}
+
+// residentBytes shows the sanctioned escape for order-insensitive
+// reductions: the analyzer cannot prove a sum commutes, so the allow
+// documents the reasoning (this is the pattern the real cache code uses).
+func residentBytes(t *table) int {
+	n := 0
+	for _, c := range t.chunks {
+		//lint:allow determinism order-insensitive integer sum
+		n += len(c)
+	}
+	return n
+}
+
+func residentBytesUnsuppressed(t *table) int {
+	n := 0
+	for _, c := range t.chunks {
+		n += len(c) // want `map iteration order is random`
+	}
+	return n
+}

@@ -12,7 +12,9 @@ package content
 
 import (
 	"hawkeye/internal/mem"
+	"hawkeye/internal/mem/cow"
 	"hawkeye/internal/sim"
+	"hawkeye/internal/trace"
 )
 
 // ZeroHash is the content hash of an all-zero page.
@@ -33,12 +35,15 @@ type Signature struct {
 func (s Signature) Zero() bool { return s.Hash == ZeroHash }
 
 // Store tracks a Signature for every physical frame. The two signature
-// fields live in parallel arrays rather than one []Signature: padding made
-// the struct 16 bytes per frame, and the split packs the same state into 10
-// — less memory cleared per machine construction and better scan locality.
+// fields live in parallel tables rather than one table of Signature:
+// padding made the struct 16 bytes per frame, and the split packs the same
+// state into 10 — less memory per machine and better scan locality. The
+// tables are chunked copy-on-write (see internal/mem/cow): Seal freezes
+// the store for O(1)-per-chunk forking, and a fork pays only for the
+// signature chunks it overwrites.
 type Store struct {
-	hashes []uint64
-	fnz    []uint16
+	hashes *cow.Table[uint64]
+	fnz    *cow.Table[uint16]
 	rng    *sim.Rand
 
 	// MeanFirstNonZero parameterizes the generator for application writes
@@ -52,11 +57,12 @@ type Store struct {
 }
 
 // NewStore creates a content store for an allocator's frames. Fresh machine
-// memory is all-zero.
+// memory is all-zero — exactly the tables' background fill — so a new store
+// allocates spines, not signature data.
 func NewStore(totalFrames int64, rng *sim.Rand) *Store {
 	return &Store{
-		hashes:           make([]uint64, totalFrames),
-		fnz:              make([]uint16, totalFrames),
+		hashes:           cow.NewTable[uint64](int(totalFrames), ZeroHash),
+		fnz:              cow.NewTable[uint16](int(totalFrames), 0),
 		rng:              rng,
 		MeanFirstNonZero: 9.11,
 	}
@@ -69,8 +75,29 @@ func NewStore(totalFrames int64, rng *sim.Rand) *Store {
 // by (geoMean, PageSize), so sharing it is safe and skips a rebuild.
 func (s *Store) Clone() *Store {
 	return &Store{
-		hashes:           append([]uint64(nil), s.hashes...),
-		fnz:              append([]uint16(nil), s.fnz...),
+		hashes:           s.hashes.DeepClone(),
+		fnz:              s.fnz.DeepClone(),
+		rng:              s.rng.Clone(),
+		MeanFirstNonZero: s.MeanFirstNonZero,
+		geo:              s.geo,
+		geoMean:          s.geoMean,
+	}
+}
+
+// Seal freezes the signature tables so the store can be forked; the store
+// itself stays fully usable, paying chunk copy-on-write for later writes.
+func (s *Store) Seal() {
+	s.hashes.Seal()
+	s.fnz.Seal()
+}
+
+// Fork returns a copy-on-write copy of a sealed store: both signature
+// tables share every chunk with s until one side writes it. The generator
+// is cloned at its exact stream position, as in Clone.
+func (s *Store) Fork() *Store {
+	return &Store{
+		hashes:           s.hashes.Fork(),
+		fnz:              s.fnz.Fork(),
 		rng:              s.rng.Clone(),
 		MeanFirstNonZero: s.MeanFirstNonZero,
 		geo:              s.geo,
@@ -81,30 +108,54 @@ func (s *Store) Clone() *Store {
 // Pristine reports whether no page content was ever recorded: every hash
 // and first-non-zero offset is still zero, as on a freshly built machine.
 // Machine warm-ups that never run application writes (build + fragment)
-// leave the store pristine; the snapshot layer checks once and then forks
-// with CloneFresh.
+// leave the store pristine; the snapshot layer checks once and then deep
+// forks with CloneFresh. Chunks never written still alias the zero
+// background and are skipped wholesale.
 func (s *Store) Pristine() bool {
-	for _, h := range s.hashes {
-		if h != ZeroHash {
-			return false
+	for ci := 0; ci < s.hashes.ChunkCount(); ci++ {
+		if !s.hashes.ChunkResident(ci) {
+			continue
+		}
+		lo, hi := chunkRange(ci, s.hashes.Len())
+		for i := lo; i < hi; i++ {
+			if s.hashes.Get(i) != ZeroHash {
+				return false
+			}
 		}
 	}
-	for _, o := range s.fnz {
-		if o != 0 {
-			return false
+	for ci := 0; ci < s.fnz.ChunkCount(); ci++ {
+		if !s.fnz.ChunkResident(ci) {
+			continue
+		}
+		lo, hi := chunkRange(ci, s.fnz.Len())
+		for i := lo; i < hi; i++ {
+			if s.fnz.Get(i) != 0 {
+				return false
+			}
 		}
 	}
 	return true
 }
 
+// chunkRange returns the [lo, hi) element range of chunk ci in a table of
+// n elements.
+func chunkRange(ci, n int) (lo, hi int) {
+	lo = ci * cow.ChunkElems
+	hi = lo + cow.ChunkElems
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
 // CloneFresh is Clone for a store Pristine reports true for: the per-frame
-// tables are allocated zeroed instead of copied, which halves the memory
-// traffic of the fork. The caller is responsible for the pristineness check
-// — on a pristine store the result is indistinguishable from Clone's.
+// tables are rebuilt empty (all chunks background) instead of copied. The
+// caller is responsible for the pristineness check — on a pristine store
+// the result is indistinguishable from Clone's.
 func (s *Store) CloneFresh() *Store {
 	return &Store{
-		hashes:           make([]uint64, len(s.hashes)),
-		fnz:              make([]uint16, len(s.fnz)),
+		hashes:           cow.NewTable[uint64](s.hashes.Len(), ZeroHash),
+		fnz:              cow.NewTable[uint16](s.fnz.Len(), 0),
 		rng:              s.rng.Clone(),
 		MeanFirstNonZero: s.MeanFirstNonZero,
 		geo:              s.geo,
@@ -114,13 +165,19 @@ func (s *Store) CloneFresh() *Store {
 
 // Get returns the signature of a frame.
 func (s *Store) Get(f mem.FrameID) Signature {
-	return Signature{Hash: s.hashes[f], FirstNonZero: s.fnz[f]}
+	return Signature{Hash: s.hashes.Get(int(f)), FirstNonZero: s.fnz.Get(int(f))}
 }
 
-// SetZero records that a frame was cleared.
+// SetZero records that a frame was cleared. Writing zero over zero is
+// skipped so clearing already-zero frames (the common case right after
+// machine construction) never materializes a pristine chunk.
 func (s *Store) SetZero(f mem.FrameID) {
-	s.hashes[f] = ZeroHash
-	s.fnz[f] = 0
+	if s.hashes.Get(int(f)) != ZeroHash {
+		s.hashes.Set(int(f), ZeroHash)
+	}
+	if s.fnz.Get(int(f)) != 0 {
+		s.fnz.Set(int(f), 0)
+	}
 }
 
 // firstNonZero draws a first-non-zero offset through the threshold table,
@@ -142,8 +199,8 @@ func (s *Store) Write(f mem.FrameID) {
 	if h == ZeroHash {
 		h = 1
 	}
-	s.hashes[f] = h
-	s.fnz[f] = s.firstNonZero()
+	s.hashes.Set(int(f), h)
+	s.fnz.Set(int(f), s.firstNonZero())
 }
 
 // WriteRepeat records n consecutive Write calls to the same frame in closed
@@ -175,14 +232,20 @@ func (s *Store) WriteShared(f mem.FrameID, key uint64) {
 	if key == ZeroHash {
 		key = 1
 	}
-	s.hashes[f] = key
-	s.fnz[f] = s.firstNonZero()
+	s.hashes.Set(int(f), key)
+	s.fnz.Set(int(f), s.firstNonZero())
 }
 
 // Copy duplicates src's content into dst (page migration, COW break).
+// Identical values are not rewritten, so copying zero content between
+// pristine chunks stays free under copy-on-write.
 func (s *Store) Copy(dst, src mem.FrameID) {
-	s.hashes[dst] = s.hashes[src]
-	s.fnz[dst] = s.fnz[src]
+	if h := s.hashes.Get(int(src)); s.hashes.Get(int(dst)) != h {
+		s.hashes.Set(int(dst), h)
+	}
+	if o := s.fnz.Get(int(src)); s.fnz.Get(int(dst)) != o {
+		s.fnz.Set(int(dst), o)
+	}
 }
 
 // ScanResult reports the outcome of scanning one page for zero content.
@@ -194,10 +257,28 @@ type ScanResult struct {
 // Scan models the bloat-recovery scanner: it reads the page until the first
 // non-zero byte (cheap for in-use pages, full 4096 bytes for zero pages).
 func (s *Store) Scan(f mem.FrameID) ScanResult {
-	if s.hashes[f] == ZeroHash {
+	if s.hashes.Get(int(f)) == ZeroHash {
 		return ScanResult{Zero: true, BytesScanned: mem.PageSize}
 	}
-	return ScanResult{Zero: false, BytesScanned: int(s.fnz[f]) + 1}
+	return ScanResult{Zero: false, BytesScanned: int(s.fnz.Get(int(f))) + 1}
+}
+
+// HeapBytes estimates the heap footprint of the signature tables.
+func (s *Store) HeapBytes() int64 {
+	return s.hashes.HeapBytes() + s.fnz.HeapBytes()
+}
+
+// COWDirtyChunks returns the number of chunk materializations the store's
+// tables have performed.
+func (s *Store) COWDirtyChunks() int64 {
+	return s.hashes.DirtyChunks() + s.fnz.DirtyChunks()
+}
+
+// SetCOWCounter mirrors chunk materializations in both tables into c
+// (nil-safe; nil detaches).
+func (s *Store) SetCOWCounter(c *trace.Counter) {
+	s.hashes.SetDirtyCounter(c)
+	s.fnz.SetDirtyCounter(c)
 }
 
 // ScanCost converts scanned bytes into simulated time. Calibrated at

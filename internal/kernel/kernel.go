@@ -277,6 +277,14 @@ func (k *Kernel) attachTrace(cfg trace.Config) {
 	k.Alloc.SetTrace(k.Trace)
 	k.TLB.SetTrace(k.Trace)
 	k.VMM.SetTrace(k.Trace)
+	// Chunk materializations across every copy-on-write table. On a forked
+	// machine this counts the write traffic against the snapshot image; on
+	// a fresh machine it counts ordinary first-touch materializations, so
+	// the counter is meaningful (and deterministic) either way.
+	cowCtr := cs.Counter("snapshot_cow_dirty_chunks")
+	k.Alloc.SetCOWCounter(cowCtr)
+	k.Content.SetCOWCounter(cowCtr)
+	k.VMM.SetCOWCounter(cowCtr)
 	trace.Sampler{Every: cfg.SampleEvery, Names: cfg.SampleNames}.Attach(k.Engine, cs, k.Rec)
 }
 

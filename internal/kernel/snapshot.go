@@ -11,15 +11,26 @@ import (
 	"hawkeye/internal/vmm"
 )
 
-// Snapshot is a frozen deep copy of a machine's full simulator state: the
+// Snapshot is a frozen image of a machine's full simulator state: the
 // buddy allocator (free lists, zero bitmap, page-cache LIFO), the content
 // store (per-frame signatures and the generator's stream position), the
 // virtual-memory layer (address spaces, PTE arrays, slot bitmaps, reverse
 // map, shared-frame refcounts, swap device) and the TLB hierarchy, plus the
-// engine RNG's exact state and the kernel's accounting scalars. Fork replays
-// a machine from it under the repo's bit-identity contract: a policy run
-// forked from a snapshot produces byte-identical tables to the same run on a
-// freshly built machine (golden-enforced by TestSnapshotForkMatchesFresh).
+// engine RNG's exact state and the kernel's accounting scalars.
+//
+// Capture is a *seal*, not a copy: the machine's big per-frame tables are
+// chunked copy-on-write (internal/mem/cow), so Snapshot freezes them in
+// O(#chunks) and Fork builds a new machine whose tables share every chunk
+// with the image until the forked machine writes it — fork cost is O(1) in
+// machine size, and a mutated fork pays only for the chunks it dirties.
+// ForkDeep is the deep-copy escape hatch with PR 5 semantics: the new
+// machine duplicates every resident chunk up front and never shares
+// writable-generation state with the image.
+//
+// Both fork flavors replay a machine under the repo's bit-identity
+// contract: a policy run forked from a snapshot produces byte-identical
+// tables to the same run on a freshly built machine (golden-enforced by
+// TestSnapshotForkMatchesFresh and the COW-vs-deep digest tests).
 //
 // A Snapshot is immutable after capture. Forking only reads it, so any
 // number of goroutines may Fork the same Snapshot concurrently — this is
@@ -44,12 +55,17 @@ type Snapshot struct {
 	swapCursor  int
 
 	// Pristine-table flags, verified once at capture: when the warm-up never
-	// mapped or wrote a page, forks allocate the content signatures and the
-	// reverse map zeroed instead of copying zeroes — the same bytes at half
-	// the memory traffic. False simply means "copy"; correctness never
-	// depends on how the warm-up behaved.
+	// mapped or wrote a page, deep forks allocate the content signatures and
+	// the reverse map empty instead of copying zeroes — the same bytes at a
+	// fraction of the memory traffic. False simply means "copy"; correctness
+	// never depends on how the warm-up behaved.
 	storePristine bool
 	rmapPristine  bool
+
+	// bytes is the resident heap footprint of the image's per-frame tables,
+	// computed once at capture (the image never changes afterwards). The
+	// snapshot cache budgets and the snapshot_cache_bytes counter read this.
+	bytes int64
 }
 
 // Snapshot captures the machine's state for later Fork calls. The machine
@@ -61,7 +77,9 @@ type Snapshot struct {
 // deterministically (trace sampler, policy daemons, kcompactd), so Fork
 // rebuilds them by replaying construction instead of copying them.
 //
-// The machine being snapshotted is not mutated and remains fully usable.
+// The machine being snapshotted remains fully usable; capture seals its
+// per-frame tables, so the machine's own later writes pay chunk-granular
+// copy-on-write instead of mutating the frozen image.
 func (k *Kernel) Snapshot() *Snapshot {
 	if k.sharedEngine {
 		panic("kernel: Snapshot of a machine on a shared engine")
@@ -73,14 +91,17 @@ func (k *Kernel) Snapshot() *Snapshot {
 	if len(k.procs) != 0 {
 		panic("kernel: Snapshot with spawned processes")
 	}
+	k.Alloc.Seal()
+	k.Content.Seal()
+	k.VMM.Seal()
 	cfg := k.Cfg
 	cfg.Engine = nil
 	cfg.Trace = nil
 	s := &Snapshot{
 		cfg:         cfg,
 		rand:        k.Engine.Rand.Clone(),
-		alloc:       k.Alloc.Clone(),
-		store:       k.Content.Clone(),
+		alloc:       k.Alloc.Fork(),
+		store:       k.Content.Fork(),
 		tlbs:        k.TLB.Clone(),
 		slowdown:    k.SlowdownFactor,
 		daemonTime:  k.DaemonTime,
@@ -91,44 +112,82 @@ func (k *Kernel) Snapshot() *Snapshot {
 		ooms:        k.OOMs,
 		swapCursor:  k.swapCursor,
 	}
-	s.vm = k.VMM.CloneInto(s.alloc, s.store, false)
+	s.vm = k.VMM.ForkInto(s.alloc, s.store)
 	s.storePristine = s.store.Pristine()
 	s.rmapPristine = s.vm.RmapPristine()
+	s.bytes = s.alloc.HeapBytes() + s.store.HeapBytes() + s.vm.RmapHeapBytes()
 	k.Trace.SnapshotCreate(int64(k.Alloc.AllocatedPages()), int64(k.Alloc.FreePages()))
 	k.Trace.Counter("snapshot_create").Inc()
 	return s
 }
 
+// Bytes reports the resident heap footprint of the image's per-frame
+// tables (allocator tables, content signatures, reverse map), frozen at
+// capture time. Chunks shared with the captured machine are charged in
+// full — the snapshot is what keeps them alive once that machine is gone.
+// Fixed-size state (TLB hierarchy, scalars) is excluded: it is KB-scale
+// and independent of machine size.
+func (s *Snapshot) Bytes() int64 { return s.bytes }
+
 // Fork builds a new, independent machine from the snapshot, with the given
-// policy attached and (optionally) tracing enabled. It mirrors New's
-// construction order exactly — engine, substrates, trace attachment, policy
-// attachment, kcompactd — so the forked machine's event sequence numbers,
-// RNG stream position and substrate state match a freshly built machine that
-// performed the same warm-up, bit for bit. pol must be a fresh policy
-// instance (policy state is per-machine and is not part of the snapshot).
+// policy attached and (optionally) tracing enabled. The new machine's
+// per-frame tables are copy-on-write against the frozen image: fork cost is
+// O(1) in machine size, and the machine copies only the chunks it writes.
+//
+// Fork mirrors New's construction order exactly — engine, substrates, trace
+// attachment, policy attachment, kcompactd — so the forked machine's event
+// sequence numbers, RNG stream position and substrate state match a freshly
+// built machine that performed the same warm-up, bit for bit. pol must be a
+// fresh policy instance (policy state is per-machine and is not part of the
+// snapshot).
 //
 // Tracing on a fork starts at the fork point, like a resumed VM: events the
 // warm-up would have emitted on a traced fresh machine (e.g. fragmentation-
 // era watermark crossings) are not replayed. Tracing is passive, so tables
 // remain byte-identical regardless.
 func (s *Snapshot) Fork(pol Policy, traceCfg *trace.Config) *Kernel {
+	return s.fork(pol, traceCfg, false)
+}
+
+// ForkDeep is Fork with PR 5 deep-copy semantics: every resident table
+// chunk is duplicated at fork time, so the machine shares no
+// writable-generation state with the image and its writes never pay
+// copy-on-write. Byte-for-byte the resulting machine is identical to
+// Fork's; only the copying strategy (and its cost profile) differs. The
+// -no-snapshot-cache escape hatch routes through this.
+func (s *Snapshot) ForkDeep(pol Policy, traceCfg *trace.Config) *Kernel {
+	return s.fork(pol, traceCfg, true)
+}
+
+func (s *Snapshot) fork(pol Policy, traceCfg *trace.Config, deep bool) *Kernel {
 	cfg := s.cfg
 	cfg.Trace = traceCfg
 	eng := sim.NewEngine(cfg.Seed)
 	eng.Rand = s.rand.Clone()
-	alloc := s.alloc.Clone()
-	var store *content.Store
-	if s.storePristine {
-		store = s.store.CloneFresh()
+	var (
+		alloc *mem.Allocator
+		store *content.Store
+		vm    *vmm.VMM
+	)
+	if deep {
+		alloc = s.alloc.Clone()
+		if s.storePristine {
+			store = s.store.CloneFresh()
+		} else {
+			store = s.store.Clone()
+		}
+		vm = s.vm.CloneInto(alloc, store, s.rmapPristine)
 	} else {
-		store = s.store.Clone()
+		alloc = s.alloc.Fork()
+		store = s.store.Fork()
+		vm = s.vm.ForkInto(alloc, store)
 	}
 	k := &Kernel{
 		Cfg:            cfg,
 		Engine:         eng,
 		Alloc:          alloc,
 		Content:        store,
-		VMM:            s.vm.CloneInto(alloc, store, s.rmapPristine),
+		VMM:            vm,
 		TLB:            s.tlbs.Clone(),
 		Rec:            sim.NewRecorder(&eng.Clock),
 		Policy:         pol,
@@ -152,4 +211,12 @@ func (s *Snapshot) Fork(pol Policy, traceCfg *trace.Config) *Kernel {
 	}
 	k.startKcompactd()
 	return k
+}
+
+// COWDirtyChunks reports how many table chunks this machine has
+// materialized (copied on first write) across the allocator, content
+// store and reverse map — the incremental memory cost of mutating a
+// forked machine, in chunks.
+func (k *Kernel) COWDirtyChunks() int64 {
+	return k.Alloc.COWDirtyChunks() + k.Content.COWDirtyChunks() + k.VMM.COWDirtyChunks()
 }

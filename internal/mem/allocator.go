@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"hawkeye/internal/mem/cow"
 	"hawkeye/internal/trace"
 )
 
@@ -43,20 +44,24 @@ type Mover interface {
 }
 
 // Allocator is a binary buddy allocator over a flat frame table with split
-// zero/non-zero free lists per order.
+// zero/non-zero free lists per order. Its big per-frame tables are chunked
+// copy-on-write (internal/mem/cow): Seal freezes them for O(1)-per-chunk
+// forking, and a forked allocator pays only for the chunks it mutates.
 type Allocator struct {
-	frames []frame
+	frames *cow.Table[frame]
 	// Intrusive free-list links, as int32 frame numbers (-1 = none): a frame
 	// table never exceeds 2^31 entries, and halving the link width halves
 	// the memory cleared on machine construction and touched by list walks.
-	next []int32
-	prev []int32
+	next *cow.Table[int32]
+	prev *cow.Table[int32]
 
 	// zeroBits holds the per-frame "content is all-zero" bit (bit i of word
 	// i/64 = frame i). Buddy blocks are order-aligned, so any block of 64+
 	// frames covers whole words and smaller blocks sit inside one word —
 	// zero checks over blocks collapse to full-word compares and masks.
-	zeroBits []uint64
+	// Fresh memory is all-zero, which is exactly the table's background
+	// fill: words never cleared cost no storage.
+	zeroBits *cow.Table[uint64]
 
 	// heads[order][class], class 0 = zero list, 1 = non-zero list.
 	heads  [MaxOrder + 1][2]FrameID
@@ -68,7 +73,12 @@ type Allocator struct {
 	peakAllocated Pages
 	tagPages      [5]Pages // allocated pages per Tag (TagFree unused)
 
-	fileLIFO []FrameID // reclaimable page-cache frames, LIFO
+	// fileLIFO holds reclaimable page-cache frames (LIFO). The table is
+	// sized to the machine up front (lazy chunks make that free) and
+	// lifoLen tracks the live prefix; pushFile grows it on the rare
+	// occasion reclaim/re-fill churn pushes past the initial size.
+	fileLIFO *cow.Table[FrameID]
+	lifoLen  int
 	mover    Mover
 
 	// Stats.
@@ -105,22 +115,20 @@ func NewAllocator(totalBytes Bytes) *Allocator {
 	//lint:allow unitsafety whole-block rounding: geometry confined to this line
 	pages := Pages(totalBytes/blockBytes) * (1 << MaxOrder)
 	a := &Allocator{
-		frames:     make([]frame, pages),
-		next:       make([]int32, pages),
-		prev:       make([]int32, pages),
-		zeroBits:   make([]uint64, pages/64),
+		frames: cow.NewTable[frame](int(pages), frame{}),
+		next:   cow.NewTable[int32](int(pages), 0),
+		prev:   cow.NewTable[int32](int(pages), 0),
+		// Fresh machine memory is treated as zeroed: the all-ones fill is
+		// the table background, so untouched words are never stored.
+		zeroBits:   cow.NewTable[uint64](int(pages/64), ^uint64(0)),
 		totalPages: pages,
 		// Pre-size the page-cache LIFO for the fragmentation experiments,
 		// which push every frame of the machine through it.
-		fileLIFO: make([]FrameID, 0, int(pages)),
+		fileLIFO: cow.NewTable[FrameID](int(pages), 0),
 	}
 	for o := 0; o <= MaxOrder; o++ {
 		a.heads[o][classZero] = NoFrame
 		a.heads[o][classNonZero] = NoFrame
-	}
-	// Fresh machine memory is treated as zeroed.
-	for i := range a.zeroBits {
-		a.zeroBits[i] = ^uint64(0)
 	}
 	for head := FrameID(0); head < FrameID(pages); head += 1 << MaxOrder {
 		a.insertFree(head, MaxOrder)
@@ -216,11 +224,24 @@ func (a *Allocator) FreeBlocksAtLeast(order int) int64 {
 
 // frameZeroed reports the content bit of one frame.
 func (a *Allocator) frameZeroed(id FrameID) bool {
-	return a.zeroBits[id>>6]&(1<<(uint64(id)&63)) != 0
+	return a.zeroBits.Get(int(id>>6))&(1<<(uint64(id)&63)) != 0
 }
 
-func (a *Allocator) setFrameZeroed(id FrameID)   { a.zeroBits[id>>6] |= 1 << (uint64(id) & 63) }
-func (a *Allocator) clearFrameZeroed(id FrameID) { a.zeroBits[id>>6] &^= 1 << (uint64(id) & 63) }
+// setFrameZeroed / clearFrameZeroed are read-check-write so that no-op
+// updates (setting a bit already set) never materialize a shared chunk.
+func (a *Allocator) setFrameZeroed(id FrameID) {
+	w := a.zeroBits.Get(int(id >> 6))
+	if nw := w | 1<<(uint64(id)&63); nw != w {
+		a.zeroBits.Set(int(id>>6), nw)
+	}
+}
+
+func (a *Allocator) clearFrameZeroed(id FrameID) {
+	w := a.zeroBits.Get(int(id >> 6))
+	if nw := w &^ (1 << (uint64(id) & 63)); nw != w {
+		a.zeroBits.Set(int(id>>6), nw)
+	}
+}
 
 // blockMask returns the zeroBits word range [lo, hi) covered by a block of
 // 64 or more frames. Blocks under 64 frames use blockBits instead.
@@ -239,11 +260,11 @@ func blockBits(head FrameID, order int) (word FrameID, mask uint64) {
 func (a *Allocator) blockAllZero(head FrameID, order int) bool {
 	if order < 6 {
 		word, mask := blockBits(head, order)
-		return a.zeroBits[word]&mask == mask
+		return a.zeroBits.Get(int(word))&mask == mask
 	}
 	lo, hi := a.blockWords(head, order)
 	for w := lo; w < hi; w++ {
-		if a.zeroBits[w] != ^uint64(0) {
+		if a.zeroBits.Get(int(w)) != ^uint64(0) {
 			return false
 		}
 	}
@@ -254,39 +275,49 @@ func (a *Allocator) blockAllZero(head FrameID, order int) bool {
 func (a *Allocator) countBlockZero(head FrameID, order int) int64 {
 	if order < 6 {
 		word, mask := blockBits(head, order)
-		return int64(bits.OnesCount64(a.zeroBits[word] & mask))
+		return int64(bits.OnesCount64(a.zeroBits.Get(int(word)) & mask))
 	}
 	lo, hi := a.blockWords(head, order)
 	var n int64
 	for w := lo; w < hi; w++ {
-		n += int64(bits.OnesCount64(a.zeroBits[w]))
+		n += int64(bits.OnesCount64(a.zeroBits.Get(int(w))))
 	}
 	return n
 }
 
-// clearBlockZero marks every frame of the block non-zero.
+// clearBlockZero marks every frame of the block non-zero. Words already at
+// the target value are skipped so no-op updates never copy a shared chunk.
 func (a *Allocator) clearBlockZero(head FrameID, order int) {
 	if order < 6 {
 		word, mask := blockBits(head, order)
-		a.zeroBits[word] &^= mask
+		if w := a.zeroBits.Get(int(word)); w&mask != 0 {
+			a.zeroBits.Set(int(word), w&^mask)
+		}
 		return
 	}
 	lo, hi := a.blockWords(head, order)
 	for w := lo; w < hi; w++ {
-		a.zeroBits[w] = 0
+		if a.zeroBits.Get(int(w)) != 0 {
+			a.zeroBits.Set(int(w), 0)
+		}
 	}
 }
 
-// setBlockZero marks every frame of the block zero-content.
+// setBlockZero marks every frame of the block zero-content (same no-op
+// skip as clearBlockZero).
 func (a *Allocator) setBlockZero(head FrameID, order int) {
 	if order < 6 {
 		word, mask := blockBits(head, order)
-		a.zeroBits[word] |= mask
+		if w := a.zeroBits.Get(int(word)); w&mask != mask {
+			a.zeroBits.Set(int(word), w|mask)
+		}
 		return
 	}
 	lo, hi := a.blockWords(head, order)
 	for w := lo; w < hi; w++ {
-		a.zeroBits[w] = ^uint64(0)
+		if a.zeroBits.Get(int(w)) != ^uint64(0) {
+			a.zeroBits.Set(int(w), ^uint64(0))
+		}
 	}
 }
 
@@ -299,15 +330,15 @@ func (a *Allocator) insertFree(head FrameID, order int) {
 	if a.blockAllZero(head, order) {
 		cls = classZero
 	}
-	f := &a.frames[head]
+	f := a.frames.Mut(int(head))
 	f.tag = TagFree
 	f.freeHead = true
 	f.order = uint8(order)
 	f.freeClass = uint8(cls)
-	a.next[head] = int32(a.heads[order][cls])
-	a.prev[head] = -1
+	a.next.Set(int(head), int32(a.heads[order][cls]))
+	a.prev.Set(int(head), -1)
 	if a.heads[order][cls] != NoFrame {
-		a.prev[a.heads[order][cls]] = int32(head)
+		a.prev.Set(int(a.heads[order][cls]), int32(head))
 	}
 	a.heads[order][cls] = head
 	a.counts[order][cls]++
@@ -315,16 +346,17 @@ func (a *Allocator) insertFree(head FrameID, order int) {
 
 // unlinkFree removes a specific free block head from its list.
 func (a *Allocator) unlinkFree(head FrameID) {
-	f := &a.frames[head]
+	f := a.frames.Mut(int(head))
 	order := int(f.order)
 	cls := int(f.freeClass)
-	if a.prev[head] != -1 {
-		a.next[a.prev[head]] = a.next[head]
+	prev, next := a.prev.Get(int(head)), a.next.Get(int(head))
+	if prev != -1 {
+		a.next.Set(int(prev), next)
 	} else {
-		a.heads[order][cls] = FrameID(a.next[head])
+		a.heads[order][cls] = FrameID(next)
 	}
-	if a.next[head] != -1 {
-		a.prev[a.next[head]] = a.prev[head]
+	if next != -1 {
+		a.prev.Set(int(next), prev)
 	}
 	f.freeHead = false
 	a.counts[order][cls]--
@@ -358,7 +390,7 @@ func (a *Allocator) Alloc(order int, pref ZeroPref, tag Tag) (Block, error) {
 	// Reclaim page cache and retry. New page-cache fills never evict the
 	// cache to make room for themselves; only anonymous/kernel allocations
 	// apply pressure.
-	for tag != TagFile && len(a.fileLIFO) > 0 {
+	for tag != TagFile && a.lifoLen > 0 {
 		// Modest reclaim batches: evict only as much cache as the retry
 		// loop actually needs, rather than whole swaths per attempt.
 		batch := 1 << order
@@ -421,7 +453,7 @@ func (a *Allocator) tryAlloc(order int, pref ZeroPref, tag Tag) (Block, bool) {
 func (a *Allocator) commitAlloc(head FrameID, order int, tag Tag) {
 	n := FrameID(1) << order
 	for i := FrameID(0); i < n; i++ {
-		f := &a.frames[head+i]
+		f := a.frames.Mut(int(head + i))
 		f.tag = tag
 		f.freeHead = false
 	}
@@ -433,10 +465,20 @@ func (a *Allocator) commitAlloc(head FrameID, order int, tag Tag) {
 	a.tagPages[tag] += Pages(n)
 	if tag == TagFile {
 		for i := FrameID(0); i < n; i++ {
-			a.fileLIFO = append(a.fileLIFO, head+i)
+			a.pushFile(head + i)
 		}
 	}
 	a.noteWatermark()
+}
+
+// pushFile appends one frame to the page-cache LIFO, growing the table on
+// the rare occasion churn pushes past its pre-sized length.
+func (a *Allocator) pushFile(id FrameID) {
+	if a.lifoLen == a.fileLIFO.Len() {
+		a.fileLIFO.Grow(a.lifoLen + a.lifoLen/2 + 1)
+	}
+	a.fileLIFO.Set(a.lifoLen, id)
+	a.lifoLen++
 }
 
 // Free returns a 2^order block to the allocator. dirty indicates the
@@ -449,12 +491,12 @@ func (a *Allocator) Free(head FrameID, order int, dirty bool) {
 		panic(fmt.Sprintf("mem: Free of unaligned block %d order %d", head, order))
 	}
 	n := FrameID(1) << order
-	tag := a.frames[head].tag
+	tag := a.frames.Get(int(head)).tag
 	if tag == TagFree {
 		panic(fmt.Sprintf("mem: double free of frame %d", head))
 	}
 	for i := FrameID(0); i < n; i++ {
-		f := &a.frames[head+i]
+		f := a.frames.Mut(int(head + i))
 		if f.tag == TagFree {
 			panic(fmt.Sprintf("mem: double free of frame %d", head+i))
 		}
@@ -480,10 +522,10 @@ func (a *Allocator) Free(head FrameID, order int, dirty bool) {
 func (a *Allocator) coalesce(head FrameID, order int) {
 	for order < MaxOrder {
 		buddy := head ^ (FrameID(1) << order)
-		if buddy >= FrameID(len(a.frames)) {
+		if buddy >= FrameID(a.totalPages) {
 			break
 		}
-		bf := &a.frames[buddy]
+		bf := a.frames.Get(int(buddy))
 		if bf.tag != TagFree || !bf.freeHead || int(bf.order) != order {
 			break
 		}
@@ -513,7 +555,7 @@ func (a *Allocator) DrainAllFile() []FrameID {
 	for o := 0; o <= MaxOrder; o++ {
 		for cls := 0; cls < 2; cls++ {
 			var list []FrameID
-			for h := a.heads[o][cls]; h != NoFrame; h = FrameID(a.next[h]) {
+			for h := a.heads[o][cls]; h != NoFrame; h = FrameID(a.next.Get(int(h))) {
 				list = append(list, h)
 			}
 			for i, j := 0, len(list)-1; i < j; i, j = i+1, j-1 {
@@ -560,10 +602,11 @@ func (a *Allocator) DrainAllFile() []FrameID {
 	// page cache; the free lists are empty. Stale order/freeClass metadata
 	// on former split buddies is fine — those fields are only read while
 	// freeHead is set, and insertFree rewrites them on the next free.
-	for i := range a.frames {
-		if a.frames[i].tag == TagFree {
-			a.frames[i].tag = TagFile
-			a.frames[i].freeHead = false
+	for i := 0; i < int(a.totalPages); i++ {
+		if a.frames.Get(i).tag == TagFree {
+			f := a.frames.Mut(i)
+			f.tag = TagFile
+			f.freeHead = false
 		}
 	}
 	for o := 0; o <= MaxOrder; o++ {
@@ -576,17 +619,19 @@ func (a *Allocator) DrainAllFile() []FrameID {
 	a.freePages = 0
 	a.zeroFreePages = 0
 	a.peakAllocated = a.totalPages
-	a.fileLIFO = append(a.fileLIFO, out...)
+	for _, id := range out {
+		a.pushFile(id)
+	}
 	return out
 }
 
 // reclaimFile drops up to n page-cache frames (LIFO), freeing them dirty.
 func (a *Allocator) reclaimFile(n int) int {
 	dropped := 0
-	for dropped < n && len(a.fileLIFO) > 0 {
-		id := a.fileLIFO[len(a.fileLIFO)-1]
-		a.fileLIFO = a.fileLIFO[:len(a.fileLIFO)-1]
-		if a.frames[id].tag != TagFile {
+	for dropped < n && a.lifoLen > 0 {
+		id := a.fileLIFO.Get(a.lifoLen - 1)
+		a.lifoLen--
+		if a.frames.Get(int(id)).tag != TagFile {
 			continue // already freed explicitly
 		}
 		a.Free(id, 0, true)
@@ -600,7 +645,7 @@ func (a *Allocator) reclaimFile(n int) int {
 // RetagFrame changes the tag of one allocated frame (e.g. page cache that
 // becomes a pinned kernel allocation). The frame must be allocated.
 func (a *Allocator) RetagFrame(id FrameID, tag Tag) {
-	f := &a.frames[id]
+	f := a.frames.Mut(int(id))
 	if f.tag == TagFree || tag == TagFree {
 		panic("mem: RetagFrame on/to free")
 	}
@@ -613,7 +658,7 @@ func (a *Allocator) RetagFrame(id FrameID, tag Tag) {
 func (a *Allocator) FileCachePages() Pages { return a.tagPages[TagFile] }
 
 // FrameTag reports the tag of a frame (for tests and the VMM).
-func (a *Allocator) FrameTag(id FrameID) Tag { return a.frames[id].tag }
+func (a *Allocator) FrameTag(id FrameID) Tag { return a.frames.Get(int(id)).tag }
 
 // FrameZeroed reports whether the frame content is known all-zero.
 func (a *Allocator) FrameZeroed(id FrameID) bool { return a.frameZeroed(id) }
@@ -635,10 +680,10 @@ func (a *Allocator) CheckConsistency() string {
 	for o := 0; o <= MaxOrder; o++ {
 		for cls := 0; cls < 2; cls++ {
 			count := int64(0)
-			for head := a.heads[o][cls]; head != NoFrame; head = FrameID(a.next[head]) {
-				f := &a.frames[head]
+			for head := a.heads[o][cls]; head != NoFrame; head = FrameID(a.next.Get(int(head))) {
+				f := a.frames.Get(int(head))
 				if f.tag != TagFree || !f.freeHead || int(f.order) != o || int(f.freeClass) != cls {
-					return fmt.Sprintf("list (o=%d,cls=%d) holds bad head %d: %+v", o, cls, head, *f)
+					return fmt.Sprintf("list (o=%d,cls=%d) holds bad head %d: %+v", o, cls, head, f)
 				}
 				if head%(FrameID(1)<<o) != 0 {
 					return fmt.Sprintf("unaligned block %d at order %d", head, o)
@@ -655,8 +700,8 @@ func (a *Allocator) CheckConsistency() string {
 		return fmt.Sprintf("free-list pages %d != freePages %d (leak of %d)", listed, a.freePages, a.freePages-listed)
 	}
 	var zeroFree, free Pages
-	for i := range a.frames {
-		if a.frames[i].tag == TagFree {
+	for i := 0; i < int(a.totalPages); i++ {
+		if a.frames.Get(i).tag == TagFree {
 			free++
 			if a.frameZeroed(FrameID(i)) {
 				zeroFree++

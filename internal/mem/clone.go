@@ -1,18 +1,64 @@
 package mem
 
-// Clone returns a deep copy of the allocator: free lists, per-frame state,
-// the zero-content bitmap, the page-cache LIFO and every statistic. The copy
-// shares no mutable state with the original — mutating either side never
-// affects the other. The trace recorder and the compaction Mover are NOT
+import (
+	"hawkeye/internal/trace"
+)
+
+// Snapshot/fork support for the allocator. Two flavors exist:
+//
+//   - Clone is the deep copy (PR 5 semantics): every resident table chunk
+//     is duplicated, so the copy shares no writable state with the
+//     original and neither side's writes ever copy-on-write against the
+//     other.
+//   - Seal + Fork is the copy-on-write path: Seal freezes the tables in
+//     O(#chunks), after which Fork produces copies that share every chunk
+//     until one side writes it.
+//
+// In both cases the trace recorder and the compaction Mover are NOT
 // carried over (both reference the machine the allocator belongs to); the
 // caller re-attaches them with SetTrace and SetMover on the new machine.
-func (a *Allocator) Clone() *Allocator {
-	c := &Allocator{
-		frames:   append([]frame(nil), a.frames...),
-		next:     append([]int32(nil), a.next...),
-		prev:     append([]int32(nil), a.prev...),
-		zeroBits: append([]uint64(nil), a.zeroBits...),
 
+// Clone returns a deep copy of the allocator: free lists, per-frame state,
+// the zero-content bitmap, the page-cache LIFO and every statistic. The
+// copy shares no mutable state with the original — mutating either side
+// never affects the other.
+func (a *Allocator) Clone() *Allocator {
+	c := a.cloneHeader()
+	c.frames = a.frames.DeepClone()
+	c.next = a.next.DeepClone()
+	c.prev = a.prev.DeepClone()
+	c.zeroBits = a.zeroBits.DeepClone()
+	c.fileLIFO = a.fileLIFO.DeepClone()
+	return c
+}
+
+// Seal freezes every per-frame table so the allocator can be forked. The
+// allocator stays fully usable; its later writes copy the chunks they
+// touch.
+func (a *Allocator) Seal() {
+	a.frames.Seal()
+	a.next.Seal()
+	a.prev.Seal()
+	a.zeroBits.Seal()
+	a.fileLIFO.Seal()
+}
+
+// Fork returns a copy-on-write copy of a sealed allocator: all five
+// tables share every chunk with a until one side writes it. Scalar state
+// (free-list heads, counts, watermarks, statistics) is copied by value.
+func (a *Allocator) Fork() *Allocator {
+	c := a.cloneHeader()
+	c.frames = a.frames.Fork()
+	c.next = a.next.Fork()
+	c.prev = a.prev.Fork()
+	c.zeroBits = a.zeroBits.Fork()
+	c.fileLIFO = a.fileLIFO.Fork()
+	return c
+}
+
+// cloneHeader copies every scalar field shared by Clone and Fork.
+func (a *Allocator) cloneHeader() *Allocator {
+	return &Allocator{
 		heads:  a.heads,
 		counts: a.counts,
 
@@ -22,16 +68,34 @@ func (a *Allocator) Clone() *Allocator {
 		peakAllocated: a.peakAllocated,
 		tagPages:      a.tagPages,
 
+		lifoLen: a.lifoLen,
+
 		ReclaimedPages:  a.ReclaimedPages,
 		CompactedBlocks: a.CompactedBlocks,
 		MovedFrames:     a.MovedFrames,
 		FailedMoves:     a.FailedMoves,
 	}
-	// NewAllocator pre-sizes the LIFO to the whole machine so the first
-	// fragmentation pass never reallocates; clones are forked from machines
-	// that already fragmented (or never will), so a length-sized copy
-	// avoids zeroing megabytes of unused capacity on every fork. If a clone
-	// does grow the LIFO again it merely pays append's amortized realloc.
-	c.fileLIFO = append([]FrameID(nil), a.fileLIFO...)
-	return c
+}
+
+// HeapBytes estimates the heap footprint of the allocator's tables.
+func (a *Allocator) HeapBytes() int64 {
+	return a.frames.HeapBytes() + a.next.HeapBytes() + a.prev.HeapBytes() +
+		a.zeroBits.HeapBytes() + a.fileLIFO.HeapBytes()
+}
+
+// COWDirtyChunks returns the number of chunk materializations the
+// allocator's tables have performed.
+func (a *Allocator) COWDirtyChunks() int64 {
+	return a.frames.DirtyChunks() + a.next.DirtyChunks() + a.prev.DirtyChunks() +
+		a.zeroBits.DirtyChunks() + a.fileLIFO.DirtyChunks()
+}
+
+// SetCOWCounter mirrors chunk materializations in every table into c
+// (nil-safe; nil detaches).
+func (a *Allocator) SetCOWCounter(c *trace.Counter) {
+	a.frames.SetDirtyCounter(c)
+	a.next.SetDirtyCounter(c)
+	a.prev.SetDirtyCounter(c)
+	a.zeroBits.SetDirtyCounter(c)
+	a.fileLIFO.SetDirtyCounter(c)
 }

@@ -24,12 +24,12 @@ func (a *Allocator) Compact(want int) CompactResult {
 	}
 	movedBefore := a.MovedFrames
 	chunk := FrameID(HugePages)
-	for base := FrameID(0); base+chunk <= FrameID(len(a.frames)) && res.BlocksBuilt < want; base += chunk {
+	for base := FrameID(0); base+chunk <= FrameID(a.totalPages) && res.BlocksBuilt < want; base += chunk {
 		res.Scanned++
 		free, movable := int64(0), int64(0)
 		ok := true
 		for i := base; i < base+chunk; i++ {
-			switch a.frames[i].tag {
+			switch a.frames.Get(int(i)).tag {
 			case TagFree:
 				free++
 			case TagAnon:
@@ -80,7 +80,7 @@ func (a *Allocator) evacuate(base, n FrameID) bool {
 	// power-of-two aligned, so a free block of order <= chunk order is
 	// either fully inside or fully outside.
 	for i := base; i < base+n; {
-		f := &a.frames[i]
+		f := a.frames.Get(int(i))
 		if f.tag == TagFree && f.freeHead {
 			a.unlinkFree(i)
 			i += FrameID(1) << f.order
@@ -90,7 +90,7 @@ func (a *Allocator) evacuate(base, n FrameID) bool {
 	}
 	failed := false
 	for i := base; i < base+n && !failed; i++ {
-		if a.frames[i].tag != TagAnon {
+		if a.frames.Get(int(i)).tag != TagAnon {
 			continue
 		}
 		blk, ok := a.allocDestination()
@@ -111,7 +111,7 @@ func (a *Allocator) evacuate(base, n FrameID) bool {
 		} else {
 			a.clearFrameZeroed(blk.Head)
 		}
-		src := &a.frames[i]
+		src := a.frames.Mut(int(i))
 		src.tag = TagFree
 		a.clearFrameZeroed(i)
 		a.tagPages[TagAnon]--
@@ -123,7 +123,7 @@ func (a *Allocator) evacuate(base, n FrameID) bool {
 		// Reinsert whatever is free inside the chunk as single frames; they
 		// coalesce with linked buddies as far as possible.
 		for i := base; i < base+n; i++ {
-			if a.frames[i].tag == TagFree && !a.frames[i].freeHead {
+			if f := a.frames.Get(int(i)); f.tag == TagFree && !f.freeHead {
 				if a.onFreeList(i) {
 					continue
 				}
@@ -167,7 +167,7 @@ func (a *Allocator) onFreeList(i FrameID) bool {
 	// Walk possible heads covering i: for each order, the aligned head.
 	for o := 0; o <= MaxOrder; o++ {
 		head := i &^ (FrameID(1)<<o - 1)
-		f := &a.frames[head]
+		f := a.frames.Get(int(head))
 		if f.tag == TagFree && f.freeHead && int(f.order) == o && head+(FrameID(1)<<o) > i {
 			return true
 		}

@@ -1,0 +1,276 @@
+// Package cow provides the chunked copy-on-write tables that back every
+// big flat per-frame array in the machine: the allocator's frame metadata
+// and zero bitmap, the content store's signature arrays, and the VMM's
+// reverse map. A Table[T] looks like a []T but stores its elements in
+// fixed-size chunks behind a spine of pointers, so that
+//
+//   - Seal makes the table forkable in O(#chunks): it disowns every chunk,
+//     freezing the current contents as a shared generation;
+//   - Fork produces a new table over the same chunks in O(#chunks) — it
+//     copies only the spine, never element data;
+//   - a write after Seal/Fork copies just the 4096-element chunk it lands
+//     in ("copy on first write"), so a mutated fork pays only for the
+//     chunks it actually dirties.
+//
+// Chunks are shared structurally, not via per-chunk reference counts: a
+// chunk is either owned by exactly one table (its owner token matches) or
+// frozen and shared read-only by any number of tables (owner nil). Sealing
+// is the only transition from owned to shared, and nothing ever transitions
+// back — a table that needs to write a shared chunk copies it. Unreferenced
+// chunks are reclaimed by the garbage collector when the last spine that
+// points at them goes away.
+//
+// Tables are additionally lazy against a background fill value: a chunk
+// that has never been written points at a per-table-family "background"
+// chunk holding the fill value in every slot. A freshly built table of any
+// length therefore allocates O(#chunks) spine entries and one shared chunk,
+// which is what makes pristine-table forks (and Pristine scans that skip
+// background chunks) cheap.
+//
+// Concurrency contract: a sealed, unmodified table may be forked and read
+// from any number of goroutines concurrently. All writes (Set, Mut, Grow,
+// Seal) are single-goroutine operations on their table, matching the
+// simulator's one-goroutine-per-machine execution model.
+package cow
+
+import (
+	"unsafe"
+
+	"hawkeye/internal/trace"
+)
+
+// chunkShift fixes the chunk size at 4096 elements. For the dominant
+// tables (8-byte signatures, 4-byte reverse-map entries, 4-byte frame
+// metadata) that is 16–32 KB per chunk: big enough that spine overhead is
+// ~0.2% of table size and Get stays two dependent loads, small enough that
+// a fork touching one frame copies kilobytes, not megabytes. See DESIGN
+// §10 for the full sizing argument.
+const (
+	chunkShift = 12
+	// ChunkElems is the number of elements per chunk.
+	ChunkElems = 1 << chunkShift
+	chunkMask  = ChunkElems - 1
+)
+
+// chunk is one fixed-size run of elements plus its ownership token. owner
+// is nil for a frozen (shared, read-only) chunk, or points at the owning
+// table's identity token when exactly one table may write it in place.
+type chunk[T any] struct {
+	owner *uint8
+	data  [ChunkElems]T
+}
+
+// Table is a chunked copy-on-write array of T. The zero value is not
+// usable; build with NewTable.
+type Table[T any] struct {
+	spine []*chunk[T]
+	n     int
+	// bg is the shared background chunk every never-written spine slot
+	// points at. It is immutable for the life of the table family and is
+	// never counted as resident.
+	bg *chunk[T]
+	// id is this table's ownership token. A fresh *uint8 per table: the
+	// pointer's identity (not its value) is what distinguishes owners, and
+	// pointers to distinct non-zero-size allocations are never equal.
+	id *uint8
+	// canFork records that the table has been sealed and not written
+	// since: exactly the state in which Fork is sound. A write after Seal
+	// clears it — the written chunk is owned again and would alias.
+	canFork bool
+	// dirty counts copy-on-write materializations — writes that had to
+	// copy a frozen (shared) resident chunk. First touches of the
+	// background fill are lazy allocation, not copies: a freshly built
+	// table pays them identically, so they are not counted. ctr, when
+	// set, mirrors each counted materialization into a trace counter
+	// (nil-safe).
+	dirty int64
+	ctr   *trace.Counter
+}
+
+// NewTable builds a table of n elements, every one reading as fill.
+func NewTable[T any](n int, fill T) *Table[T] {
+	bg := &chunk[T]{}
+	for i := range bg.data {
+		bg.data[i] = fill
+	}
+	t := &Table[T]{
+		bg: bg,
+		id: new(uint8),
+	}
+	t.spine = make([]*chunk[T], spineLen(n))
+	for i := range t.spine {
+		t.spine[i] = bg
+	}
+	t.n = n
+	return t
+}
+
+// spineLen returns the number of chunks covering n elements.
+func spineLen(n int) int { return (n + ChunkElems - 1) >> chunkShift }
+
+// Len returns the element count.
+func (t *Table[T]) Len() int { return t.n }
+
+// Get returns element i. Bounds are enforced at chunk granularity (an
+// index past the last chunk panics); indexes within the final partial
+// chunk read the fill value, mirroring a slice sized up to the chunk
+// boundary.
+func (t *Table[T]) Get(i int) T {
+	return t.spine[i>>chunkShift].data[i&chunkMask]
+}
+
+// Set writes element i, materializing a private copy of its chunk first if
+// the chunk is frozen or owned by another table.
+func (t *Table[T]) Set(i int, v T) {
+	ci := i >> chunkShift
+	ch := t.spine[ci]
+	if ch.owner != t.id {
+		ch = t.materialize(ci)
+	}
+	ch.data[i&chunkMask] = v
+}
+
+// Mut returns a writable pointer to element i, materializing its chunk
+// exactly like Set. The pointer is valid only until the table's next Seal;
+// callers must not hold it across a seal/fork boundary.
+func (t *Table[T]) Mut(i int) *T {
+	ci := i >> chunkShift
+	ch := t.spine[ci]
+	if ch.owner != t.id {
+		ch = t.materialize(ci)
+	}
+	return &ch.data[i&chunkMask]
+}
+
+// materialize copies chunk ci into a privately owned chunk and installs
+// it. The copy is built fully (owner set) before being published on the
+// spine, so concurrent readers of *other* forks — which share the old
+// chunk, never the spine — are unaffected. Only copies of resident chunks
+// count as dirty: materializing the background fill is first-touch lazy
+// allocation, which a freshly built table would pay too.
+func (t *Table[T]) materialize(ci int) *chunk[T] {
+	src := t.spine[ci]
+	nc := &chunk[T]{owner: t.id, data: src.data}
+	t.spine[ci] = nc
+	if src != t.bg {
+		t.dirty++
+		t.ctr.Inc()
+	}
+	t.canFork = false
+	return nc
+}
+
+// Seal freezes the table's current contents as a shared generation:
+// every owned chunk is disowned, after which the table may be forked any
+// number of times. The table itself stays fully usable — its next write
+// to any chunk copies that chunk. O(#chunks), touching no element data.
+func (t *Table[T]) Seal() {
+	for _, ch := range t.spine {
+		// Only chunks this table owns carry a non-nil owner; skipping the
+		// rest keeps Seal from writing to chunks shared with concurrent
+		// readers (the write would be a benign nil-over-nil, but it would
+		// still be a data race).
+		if ch.owner != nil {
+			ch.owner = nil
+		}
+	}
+	t.canFork = true
+}
+
+// Fork returns a new table sharing every chunk with t. It is only legal on
+// a sealed table that has not been written since sealing (panics
+// otherwise): an owned chunk on the spine would alias writable state
+// between the two tables. O(#chunks) — copies the spine, no element data.
+func (t *Table[T]) Fork() *Table[T] {
+	if !t.canFork {
+		panic("cow: Fork of a table that is not sealed (or was written after sealing)")
+	}
+	// The fork does not inherit t's dirty counter: counters belong to a
+	// machine's trace recorder, and each forked machine wires its own
+	// (or none) when its trace is attached.
+	return &Table[T]{
+		spine:   append([]*chunk[T](nil), t.spine...),
+		n:       t.n,
+		bg:      t.bg,
+		id:      new(uint8),
+		canFork: true,
+	}
+}
+
+// DeepClone returns a copy sharing no writable state with t: every
+// resident chunk is copied into a chunk owned by the clone. Background
+// chunks stay shared — they are immutable by construction, so the clone
+// still cannot observe or cause writes through them. This is the PR 5
+// deep-fork escape hatch; it is legal on any table, sealed or not, and is
+// read-only on t (safe to call concurrently from multiple forks).
+func (t *Table[T]) DeepClone() *Table[T] {
+	c := &Table[T]{
+		spine: make([]*chunk[T], len(t.spine)),
+		n:     t.n,
+		bg:    t.bg,
+		id:    new(uint8),
+	}
+	for i, ch := range t.spine {
+		if ch == t.bg {
+			c.spine[i] = t.bg
+			continue
+		}
+		c.spine[i] = &chunk[T]{owner: c.id, data: ch.data}
+	}
+	return c
+}
+
+// Grow extends the table to n elements, new elements reading as the fill
+// value. Shrinking is not supported (no-op when n <= Len).
+func (t *Table[T]) Grow(n int) {
+	if n <= t.n {
+		return
+	}
+	for len(t.spine) < spineLen(n) {
+		t.spine = append(t.spine, t.bg)
+	}
+	t.n = n
+}
+
+// ChunkCount returns the number of chunks on the spine.
+func (t *Table[T]) ChunkCount() int { return len(t.spine) }
+
+// ChunkResident reports whether chunk ci holds materialized data (true) or
+// still aliases the background fill chunk (false). Pristine-style scans
+// use this to skip never-written ranges wholesale.
+func (t *Table[T]) ChunkResident(ci int) bool { return t.spine[ci] != t.bg }
+
+// ResidentChunks counts materialized chunks — chunks carrying real data,
+// owned or frozen, attributed to this table whether or not other forks
+// share them.
+func (t *Table[T]) ResidentChunks() int {
+	n := 0
+	for _, ch := range t.spine {
+		if ch != t.bg {
+			n++
+		}
+	}
+	return n
+}
+
+// HeapBytes estimates the heap footprint attributed to this table: all
+// resident chunk payloads plus the spine. Chunks shared with other forks
+// are charged in full — for the snapshot cache this is the right
+// attribution, since the snapshot is what keeps them alive.
+func (t *Table[T]) HeapBytes() int64 {
+	var zero T
+	elem := int64(unsafe.Sizeof(zero))
+	ptr := int64(unsafe.Sizeof(t.bg))
+	return int64(t.ResidentChunks())*elem*ChunkElems + int64(len(t.spine))*ptr
+}
+
+// DirtyChunks returns the number of copy-on-write materializations this
+// table has performed over its lifetime: writes that copied a frozen
+// resident chunk. Lazy first touches of the background fill are excluded —
+// a fresh table pays those identically, so they measure allocation, not
+// the cost of having forked.
+func (t *Table[T]) DirtyChunks() int64 { return t.dirty }
+
+// SetDirtyCounter mirrors every future counted materialization into c
+// (nil-safe, nil detaches).
+func (t *Table[T]) SetDirtyCounter(c *trace.Counter) { t.ctr = c }

@@ -14,9 +14,11 @@ func testOpts() experiments.Options {
 }
 
 // TestParallelMatchesSerial runs three representative experiments (a
-// native multi-process figure, a table sweep, and a virtualized figure)
-// serially and via the worker pool with the same seed, and requires the
-// rendered tables to be byte-identical.
+// native multi-process recovery figure, an NPB results table, and a
+// virtualized figure) serially and via the worker pool with the same seed,
+// and requires the rendered tables to be byte-identical. A small policy
+// sweep is held to the same contract: RunSweep on one worker and on four
+// must emit byte-identical CSV.
 func TestParallelMatchesSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second simulation; skipped in -short")
@@ -44,6 +46,36 @@ func TestParallelMatchesSerial(t *testing.T) {
 		}
 		if res.WallSeconds <= 0 {
 			t.Errorf("%s: wall time not recorded", res.ID)
+		}
+	}
+
+	spec := experiments.SweepSpec{
+		Workload:   "graph500",
+		Policies:   []string{"linux", "hawkeye-pmu"},
+		Thresholds: []float64{0.4, 0.8},
+		Seeds:      1,
+		FragKeep:   0.15,
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("sweep spec: %v", err)
+	}
+	sweepCSV := func(workers int) string {
+		var b strings.Builder
+		if err := RunSweep(spec, opts, workers).WriteCSV(&b); err != nil {
+			t.Fatalf("sweep csv (%d workers): %v", workers, err)
+		}
+		return b.String()
+	}
+	one, four := sweepCSV(1), sweepCSV(4)
+	if one != four {
+		t.Errorf("sweep rows differ between 1 and 4 workers\nserial:\n%s\nparallel:\n%s", one, four)
+	}
+	if n := strings.Count(one, "\n"); n != 1+len(spec.Policies)*len(spec.Thresholds) {
+		t.Errorf("sweep emitted %d lines, want header + %d rows", n, len(spec.Policies)*len(spec.Thresholds))
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(one, "\n"), "\n")[1:] {
+		if !strings.HasSuffix(line, ",") {
+			t.Errorf("sweep row carries an error: %s", line)
 		}
 	}
 }

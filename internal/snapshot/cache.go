@@ -40,11 +40,26 @@ type Key struct {
 type cacheEntry struct {
 	once sync.Once
 	snap *kernel.Snapshot
+	// lastFork is the cache-wide sequence number of the entry's most recent
+	// use (build or fork), guarded by mu. Eviction removes the entry with
+	// the smallest lastFork — least recently forked.
+	lastFork int64
 }
 
 var (
 	mu      sync.Mutex
 	entries = make(map[Key]*cacheEntry)
+
+	// budgetBytes caps the summed Snapshot.Bytes of built entries; 0 (the
+	// default) means unlimited. forkSeq and evictions are cumulative
+	// counters guarded by mu.
+	budgetBytes int64
+	forkSeq     int64
+	evictions   int64
+
+	// deepForks routes every cache Fork through Snapshot.ForkDeep — the
+	// one-flag escape hatch back to deep-copy (PR 5) fork semantics.
+	deepForks bool
 )
 
 // For returns the snapshot of a machine built from cfg and fragmented with
@@ -54,6 +69,13 @@ var (
 // co-simulated on a shared engine cannot be snapshotted — and cfg.Trace is
 // ignored for the warm-up (forks attach their own tracing).
 func For(cfg kernel.Config, keep, pinned float64) *kernel.Snapshot {
+	snap, _ := forUse(cfg, keep, pinned)
+	return snap
+}
+
+// forUse is For plus bookkeeping: it stamps the entry's fork recency, runs
+// byte-budget eviction, and reports how many snapshots this call evicted.
+func forUse(cfg kernel.Config, keep, pinned float64) (*kernel.Snapshot, int64) {
 	if cfg.Engine != nil {
 		panic("snapshot: cache requested for a shared-engine config")
 	}
@@ -73,7 +95,107 @@ func For(cfg kernel.Config, keep, pinned float64) *kernel.Snapshot {
 		}
 		e.snap = k.Snapshot()
 	})
-	return e.snap
+	mu.Lock()
+	defer mu.Unlock()
+	forkSeq++
+	e.lastFork = forkSeq
+	var evicted int64
+	// The entry may have been evicted while we were building or waiting;
+	// callers holding the snapshot are unaffected (it is immutable), but
+	// only entries still in the map participate in budgeting.
+	if cur, ok := entries[key]; ok && cur == e {
+		evicted = enforceBudgetLocked(e)
+	}
+	return e.snap, evicted
+}
+
+// enforceBudgetLocked evicts least-recently-forked snapshots until the
+// cache fits the byte budget, never evicting keep (the entry being used
+// right now) or entries still being built. Returns how many it evicted.
+// Caller holds mu.
+func enforceBudgetLocked(keep *cacheEntry) int64 {
+	if budgetBytes <= 0 {
+		return 0
+	}
+	var n int64
+	for residentBytesLocked() > budgetBytes {
+		var victimKey Key
+		var victim *cacheEntry
+		// Selection by unique minimum lastFork: iteration order over the
+		// map cannot change which entry wins.
+		for k, e := range entries {
+			if e == keep || e.snap == nil {
+				continue
+			}
+			if victim == nil || e.lastFork < victim.lastFork {
+				//lint:allow determinism victim has the unique smallest lastFork
+				victim, victimKey = e, k
+			}
+		}
+		if victim == nil {
+			break // nothing evictable: budget smaller than the live snapshot
+		}
+		delete(entries, victimKey)
+		evictions++
+		n++
+	}
+	return n
+}
+
+// residentBytesLocked sums the frozen byte footprint of built entries.
+// Caller holds mu.
+func residentBytesLocked() int64 {
+	var total int64
+	for _, e := range entries {
+		if e.snap != nil {
+			//lint:allow determinism order-insensitive integer sum
+			total += e.snap.Bytes()
+		}
+	}
+	return total
+}
+
+// SetCacheBudget caps the cache's resident snapshot bytes (as reported by
+// Snapshot.Bytes); 0 restores the default, unlimited. Lowering the budget
+// evicts immediately. With a finite budget, which forks hit or rebuild the
+// cache depends on cross-worker timing — eviction counts (and warm-up
+// counts) are only run-to-run deterministic under the default unlimited
+// budget or single-worker execution; simulation outputs are bit-identical
+// regardless, because forks are bit-identical however the warm-up was
+// obtained.
+func SetCacheBudget(n int64) {
+	mu.Lock()
+	defer mu.Unlock()
+	budgetBytes = n
+	enforceBudgetLocked(nil)
+}
+
+// SetDeepForks routes cache forks through Snapshot.ForkDeep (true) or the
+// default copy-on-write Snapshot.Fork (false). Deep forks restore PR 5
+// semantics: each machine duplicates every resident table chunk up front
+// and shares no writable-generation state with the cached image.
+func SetDeepForks(deep bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	deepForks = deep
+}
+
+// CacheStats is a point-in-time view of the cache.
+type CacheStats struct {
+	Entries       int   // cached snapshots (including ones still building)
+	ResidentBytes int64 // summed Snapshot.Bytes of built entries
+	Evictions     int64 // cumulative evictions since process start / Reset
+}
+
+// Stats reports the cache's current size and cumulative eviction count.
+func Stats() CacheStats {
+	mu.Lock()
+	defer mu.Unlock()
+	return CacheStats{
+		Entries:       len(entries),
+		ResidentBytes: residentBytesLocked(),
+		Evictions:     evictions,
+	}
 }
 
 // Fork is the harness entry point: it resolves (builds or reuses) the warm-up
@@ -84,14 +206,36 @@ func For(cfg kernel.Config, keep, pinned float64) *kernel.Snapshot {
 //	if keep > 0 { k.FragmentMemoryPinned(keep, pinned) }
 //
 // on a fresh machine, minus the warm-up cost on every call after the first.
+//
+// When tracing is attached, the forked machine's recorder carries the cache
+// counters: snapshot_cache_bytes (the frozen footprint of the image this
+// machine forked from — per-snapshot, hence deterministic) and
+// snapshot_cache_evict (snapshots this fork's cache visit evicted; always 0
+// under the default unlimited budget).
 func Fork(cfg kernel.Config, pol kernel.Policy, keep, pinned float64) *kernel.Kernel {
 	tr := cfg.Trace
-	return For(cfg, keep, pinned).Fork(pol, tr)
+	snap, evicted := forUse(cfg, keep, pinned)
+	mu.Lock()
+	deep := deepForks
+	mu.Unlock()
+	var k *kernel.Kernel
+	if deep {
+		k = snap.ForkDeep(pol, tr)
+	} else {
+		k = snap.Fork(pol, tr)
+	}
+	k.Trace.Counter("snapshot_cache_bytes").Add(snap.Bytes())
+	k.Trace.Counter("snapshot_cache_evict").Add(evicted)
+	return k
 }
 
-// Reset drops every cached snapshot (test isolation / memory release).
+// Reset drops every cached snapshot and zeroes the recency/eviction
+// counters (test isolation / memory release). The byte budget and the
+// deep-fork flag are configuration, not cache state, and survive Reset.
 func Reset() {
 	mu.Lock()
 	entries = make(map[Key]*cacheEntry)
+	forkSeq = 0
+	evictions = 0
 	mu.Unlock()
 }

@@ -3,6 +3,8 @@ package vmm
 import (
 	"hawkeye/internal/content"
 	"hawkeye/internal/mem"
+	"hawkeye/internal/mem/cow"
+	"hawkeye/internal/trace"
 )
 
 // Snapshot/fork support: deep copies of the virtual-memory layer. CloneInto
@@ -79,9 +81,19 @@ func (p *Process) cloneInto(v *VMM) *Process {
 // the largest per-machine table zeroed instead of copying it.
 func (v *VMM) RmapPristine() bool {
 	var zero mapping
-	for _, m := range v.rmap {
-		if m != zero {
-			return false
+	for ci := 0; ci < v.rmap.ChunkCount(); ci++ {
+		if !v.rmap.ChunkResident(ci) {
+			continue // never written: still all zero entries
+		}
+		lo := ci * cow.ChunkElems
+		hi := lo + cow.ChunkElems
+		if hi > v.rmap.Len() {
+			hi = v.rmap.Len()
+		}
+		for i := lo; i < hi; i++ {
+			if v.rmap.Get(i) != zero {
+				return false
+			}
 		}
 	}
 	return true
@@ -95,10 +107,37 @@ func (v *VMM) RmapPristine() bool {
 // capture), letting the clone allocate its reverse map zeroed instead of
 // copying zeroes; pass false whenever the reverse map's state is unknown.
 func (v *VMM) CloneInto(alloc *mem.Allocator, store *content.Store, rmapPristine bool) *VMM {
-	rmap := make([]mapping, len(v.rmap))
-	if !rmapPristine {
-		copy(rmap, v.rmap)
+	var rmap *cow.Table[mapping]
+	if rmapPristine {
+		rmap = cow.NewTable[mapping](v.rmap.Len(), mapping{})
+	} else {
+		rmap = v.rmap.DeepClone()
 	}
+	return v.cloneWith(alloc, store, rmap)
+}
+
+// Seal freezes the reverse map so the VMM can be forked with ForkInto; the
+// VMM stays fully usable, paying chunk copy-on-write for later writes. The
+// per-process page tables are not sealed — they are copied (cheaply, there
+// are no processes on any machine the snapshot layer accepts) by
+// ForkInto's process walk.
+func (v *VMM) Seal() {
+	v.rmap.Seal()
+}
+
+// ForkInto is CloneInto with a copy-on-write reverse map: the fork shares
+// every rmap chunk with v (which must be sealed) until one side writes it.
+// Everything else — the refs map, processes, swap device — is copied
+// exactly as CloneInto copies it; those structures are small on the
+// quiesced machines the snapshot layer forks (no processes have spawned).
+func (v *VMM) ForkInto(alloc *mem.Allocator, store *content.Store) *VMM {
+	return v.cloneWith(alloc, store, v.rmap.Fork())
+}
+
+// cloneWith rebuilds the VMM around an already-copied reverse map and
+// registers the copy as the new allocator's compaction Mover — the same
+// wiring New performs.
+func (v *VMM) cloneWith(alloc *mem.Allocator, store *content.Store, rmap *cow.Table[mapping]) *VMM {
 	c := &VMM{
 		Alloc:     alloc,
 		Content:   store,
@@ -122,3 +161,14 @@ func (v *VMM) CloneInto(alloc *mem.Allocator, store *content.Store, rmapPristine
 	alloc.SetMover(c)
 	return c
 }
+
+// RmapHeapBytes estimates the heap footprint of the reverse map.
+func (v *VMM) RmapHeapBytes() int64 { return v.rmap.HeapBytes() }
+
+// COWDirtyChunks returns the number of chunk materializations the reverse
+// map has performed.
+func (v *VMM) COWDirtyChunks() int64 { return v.rmap.DirtyChunks() }
+
+// SetCOWCounter mirrors reverse-map chunk materializations into c
+// (nil-safe; nil detaches).
+func (v *VMM) SetCOWCounter(c *trace.Counter) { v.rmap.SetDirtyCounter(c) }

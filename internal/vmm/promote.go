@@ -76,7 +76,7 @@ func (v *VMM) PromoteInPlace(p *Process, r *Region) {
 			panic("vmm: reservation PTEs not in place")
 		}
 		// Clear without freeing: frames stay, mapping granularity changes.
-		v.rmap[e.Frame] = mapping{}
+		v.rmap.Set(int(e.Frame), mapping{})
 		e.Frame = mem.NoFrame
 		e.Flags = 0
 	}

@@ -6,6 +6,7 @@ import (
 
 	"hawkeye/internal/content"
 	"hawkeye/internal/mem"
+	"hawkeye/internal/mem/cow"
 	"hawkeye/internal/trace"
 )
 
@@ -76,7 +77,7 @@ type VMM struct {
 	// dense small integers, so the map is a flat per-frame table (entry
 	// kind mapNone = no owner) — MapBase/UnmapBase are on the fault hot
 	// path and a slice index beats a hash on every operation.
-	rmap []mapping
+	rmap *cow.Table[mapping]
 	refs map[mem.FrameID]int32
 
 	// ZeroFrame is the canonical all-zero page that COW zero mappings and
@@ -105,7 +106,7 @@ func New(alloc *mem.Allocator, store *content.Store) *VMM {
 	v := &VMM{
 		Alloc:   alloc,
 		Content: store,
-		rmap:    make([]mapping, alloc.TotalPages()),
+		rmap:    cow.NewTable[mapping](int(alloc.TotalPages()), mapping{}),
 		refs:    make(map[mem.FrameID]int32),
 	}
 	blk, err := alloc.Alloc(0, mem.PreferZero, mem.TagKernel)
@@ -288,7 +289,7 @@ func (v *VMM) MapBase(p *Process, r *Region, slot int, frame mem.FrameID) {
 	r.populated++
 	r.resident++
 	p.rss++
-	v.rmap[frame] = mapping{reg: r.Index, pid: int32(p.PID), slot: int16(slot), kind: mapBase}
+	v.rmap.Set(int(frame), mapping{reg: r.Index, pid: int32(p.PID), slot: int16(slot), kind: mapBase})
 }
 
 // MapShared installs a COW mapping of a shared frame (the canonical zero
@@ -325,7 +326,7 @@ func (v *VMM) MapHuge(p *Process, r *Region, head mem.FrameID) {
 	r.hugeFlags = ptePresent | pteAccessed
 	p.hugeMapped++
 	p.rss += mem.HugePages
-	v.rmap[head] = mapping{reg: r.Index, pid: int32(p.PID), slot: -1, kind: mapHuge}
+	v.rmap.Set(int(head), mapping{reg: r.Index, pid: int32(p.PID), slot: -1, kind: mapHuge})
 }
 
 // UnmapBase removes a base mapping and optionally frees the frame. Shared
@@ -353,7 +354,7 @@ func (v *VMM) UnmapBase(p *Process, r *Region, slot int, freeFrame bool) {
 	}
 	r.resident--
 	p.rss--
-	v.rmap[frame] = mapping{}
+	v.rmap.Set(int(frame), mapping{})
 	if freeFrame {
 		v.Alloc.Free(frame, 0, !v.Content.Get(frame).Zero())
 	}
@@ -370,7 +371,7 @@ func (v *VMM) UnmapHuge(p *Process, r *Region, freeFrames bool) {
 	r.hugeFlags = 0
 	p.hugeMapped--
 	p.rss -= mem.HugePages
-	v.rmap[head] = mapping{}
+	v.rmap.Set(int(head), mapping{})
 	if freeFrames {
 		dirty := false
 		for i := mem.FrameID(0); i < mem.HugePages; i++ {
@@ -385,7 +386,7 @@ func (v *VMM) UnmapHuge(p *Process, r *Region, freeFrames bool) {
 
 // MoveFrame implements mem.Mover: migrate a private frame during compaction.
 func (v *VMM) MoveFrame(old, new mem.FrameID) bool {
-	m := v.rmap[old]
+	m := v.rmap.Get(int(old))
 	if m.kind != mapBase {
 		return false // shared, huge-mapped or untracked: pinned
 	}
@@ -393,8 +394,8 @@ func (v *VMM) MoveFrame(old, new mem.FrameID) bool {
 	r := v.procs[m.pid].region(m.reg)
 	e := &r.PTEs[m.slot]
 	e.Frame = new
-	v.rmap[new] = m
-	v.rmap[old] = mapping{}
+	v.rmap.Set(int(new), m)
+	v.rmap.Set(int(old), mapping{})
 	return true
 }
 
@@ -437,7 +438,7 @@ func (v *VMM) Exit(p *Process) {
 // canonical copy's owner keeps the same frame but through a COW mapping.
 // Returns false if the frame has no private base mapping.
 func (v *VMM) ConvertToShared(f mem.FrameID) bool {
-	m := v.rmap[f]
+	m := v.rmap.Get(int(f))
 	if m.kind != mapBase {
 		return false
 	}
