@@ -1,17 +1,25 @@
-// hawkeye-lint is the project's static-analysis driver. It bundles the
-// three HawkEye analyzers (determinism, unitsafety, eventorder — see
-// internal/analysis) and runs in two modes:
+// hawkeye-lint is the project's static-analysis driver. It bundles the six
+// HawkEye analyzers (determinism, unitsafety, eventorder, cowsafety,
+// tracealloc, snapshotquiesce — see internal/analysis) and runs in two
+// modes:
 //
-// Standalone, over package patterns, loading and type-checking from source:
+// Standalone, over package patterns, loading and type-checking from source.
+// Packages are analyzed in dependency order through one shared fact store,
+// so the fact-producing analyzers see every imported package's facts:
 //
 //	hawkeye-lint ./...
-//	hawkeye-lint ./internal/vmm ./internal/kernel
+//	hawkeye-lint -json ./internal/vmm ./internal/kernel
 //
 // As a vet tool, speaking cmd/go's unitchecker protocol (-V=full / -flags
 // handshake, then one invocation per package with a vet.cfg file whose
-// dependencies are imported from compiler export data):
+// dependencies are imported from compiler export data). Facts travel
+// between the per-package invocations through the .vetx files cmd/go
+// threads via PackageVetx/VetxOutput:
 //
 //	go vet -vettool=$(which hawkeye-lint) ./...
+//
+// -json prints diagnostics as a JSON array on stdout (sorted, `[]` when
+// clean) instead of human-readable lines on stderr.
 //
 // Exit status: 0 clean, 1 usage or load failure, 2 findings.
 package main
@@ -33,9 +41,13 @@ import (
 	"strings"
 
 	"hawkeye/internal/analysis"
+	"hawkeye/internal/analysis/cowsafety"
 	"hawkeye/internal/analysis/determinism"
+	"hawkeye/internal/analysis/driver"
 	"hawkeye/internal/analysis/eventorder"
 	"hawkeye/internal/analysis/loader"
+	"hawkeye/internal/analysis/snapshotquiesce"
+	"hawkeye/internal/analysis/tracealloc"
 	"hawkeye/internal/analysis/unitsafety"
 )
 
@@ -44,7 +56,14 @@ var all = []*analysis.Analyzer{
 	determinism.Analyzer,
 	unitsafety.Analyzer,
 	eventorder.Analyzer,
+	cowsafety.Analyzer,
+	tracealloc.Analyzer,
+	snapshotquiesce.Analyzer,
 }
+
+// jsonOut is set by the -json flag: diagnostics go to stdout as a JSON
+// array instead of human lines on stderr.
+var jsonOut bool
 
 func main() {
 	args := os.Args[1:]
@@ -60,10 +79,19 @@ func main() {
 		fmt.Println("[]")
 		return
 	}
-	if len(args) == 1 && !strings.HasPrefix(args[0], "-") && strings.HasSuffix(args[0], ".cfg") {
-		os.Exit(unitcheck(args[0]))
+	var rest []string
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			jsonOut = true
+			continue
+		}
+		rest = append(rest, a)
 	}
-	os.Exit(standalone(args))
+	analysis.RegisterFactTypes(all)
+	if len(rest) == 1 && !strings.HasPrefix(rest[0], "-") && strings.HasSuffix(rest[0], ".cfg") {
+		os.Exit(unitcheck(rest[0]))
+	}
+	os.Exit(standalone(rest))
 }
 
 // printVersion emits the `-V=full` line cmd/go hashes into its build cache
@@ -88,22 +116,58 @@ func fail(format string, args ...any) int {
 	return 1
 }
 
+// jsonDiagnostic is the -json output schema, one element per finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// report prints diagnostics — sorted by file, line, column, analyzer and
+// message, so repeated runs over the same tree are byte-identical — and
+// returns the exit status.
 func report(diags []analysis.Diagnostic) int {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	if jsonOut {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return fail("%v", err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+		}
+	}
 	if len(diags) == 0 {
 		return 0
-	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i].Pos, diags[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		return a.Column < b.Column
-	})
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
 	}
 	return 2
 }
@@ -125,25 +189,19 @@ func standalone(args []string) int {
 	if err != nil {
 		return fail("%v", err)
 	}
-	var diags []analysis.Diagnostic
-	status := 0
+	paths := make([]string, 0, len(dirs))
 	for _, dir := range dirs {
-		pkg, err := l.LoadDir(dir)
+		p, err := l.DirImportPath(dir)
 		if err != nil {
-			status = fail("%v", err)
-			continue
+			return fail("%v", err)
 		}
-		ds, err := analysis.RunAnalyzers(l.Fset, pkg.Files, pkg.Types, pkg.Info, all)
-		if err != nil {
-			status = fail("%v", err)
-			continue
-		}
-		diags = append(diags, ds...)
+		paths = append(paths, p)
 	}
-	if rc := report(diags); rc != 0 {
-		return rc
+	diags, err := driver.Run(l, all, paths)
+	if err != nil {
+		return fail("%v", err)
 	}
-	return status
+	return report(diags)
 }
 
 // expandPatterns resolves package patterns to package directories. `...`
@@ -230,6 +288,15 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// emptyVetx writes an empty facts file so cmd/go finds the output it
+// expects even when this invocation produced nothing (parse or typecheck
+// failure under SucceedOnTypecheckFailure).
+func emptyVetx(cfg *vetConfig) {
+	if cfg.VetxOutput != "" {
+		os.WriteFile(cfg.VetxOutput, nil, 0o666)
+	}
+}
+
 func unitcheck(cfgPath string) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -239,16 +306,6 @@ func unitcheck(cfgPath string) int {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return fail("parsing %s: %v", cfgPath, err)
 	}
-	// The suite has no cross-package facts; an empty vetx file satisfies
-	// both cmd/go and downstream packages that list it in PackageVetx.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			return fail("%v", err)
-		}
-	}
-	if cfg.VetxOnly {
-		return 0
-	}
 
 	fset := token.NewFileSet()
 	var files []*ast.File
@@ -256,6 +313,7 @@ func unitcheck(cfgPath string) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
+				emptyVetx(&cfg)
 				return 0
 			}
 			return fail("%v", err)
@@ -297,14 +355,48 @@ func unitcheck(cfgPath string) int {
 	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			emptyVetx(&cfg)
 			return 0
 		}
 		return fail("typecheck %s: %v", cfg.ImportPath, err)
 	}
 
-	diags, err := analysis.RunAnalyzers(fset, files, pkg, info, all)
+	// Import the facts of every dependency cmd/go handed us. Paths are
+	// walked in sorted order so fact merging is deterministic; a vetx file
+	// from an analyzer-free package is empty and decodes to nothing.
+	store := analysis.NewFactStore()
+	depPaths := make([]string, 0, len(cfg.PackageVetx))
+	for p := range cfg.PackageVetx {
+		depPaths = append(depPaths, p)
+	}
+	sort.Strings(depPaths)
+	for _, p := range depPaths {
+		vetx, err := os.ReadFile(cfg.PackageVetx[p])
+		if err != nil {
+			return fail("reading facts of %s: %v", p, err)
+		}
+		if err := store.DecodeVetx(vetx, pkg, all); err != nil {
+			return fail("decoding facts of %s: %v", p, err)
+		}
+	}
+
+	// Analyzers run even under VetxOnly: dependents need this package's
+	// facts, and facts only exist after the suite has run.
+	diags, err := analysis.RunAnalyzers(fset, files, pkg, info, all, store)
 	if err != nil {
 		return fail("%v", err)
+	}
+	if cfg.VetxOutput != "" {
+		out, err := store.EncodeVetx(pkg, all)
+		if err != nil {
+			return fail("encoding facts of %s: %v", cfg.ImportPath, err)
+		}
+		if err := os.WriteFile(cfg.VetxOutput, out, 0o666); err != nil {
+			return fail("%v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
 	}
 	return report(diags)
 }

@@ -18,10 +18,25 @@
 //     honour the documented tie-break key (Engine's FIFO sequence number);
 //     a Less that compares sim.Time alone breaks replay determinism.
 //
-// The framework is deliberately small: no facts, no modular analysis — every
-// analyzer inspects one type-checked package at a time, which is all the
-// three checks need. cmd/hawkeye-lint is the driver; it speaks both a
-// standalone package-pattern mode and the `go vet -vettool` protocol.
+// PR 7 grew the framework from single-package checks into a modular,
+// cross-package analysis: analyzers may export typed Facts about objects
+// (facts.go), the drivers analyze packages in dependency order so imported
+// facts are always present (internal/analysis/driver for the from-source
+// modes, gob-serialized .vetx files for `go vet -vettool`), and three more
+// analyzers build on the facts layer:
+//
+//   - cowsafety: the internal/mem/cow seal/fork protocol's pointer and
+//     write-ordering rules (a Mut chunk pointer must not outlive the next
+//     Seal; a sealed table must not be written before it is forked).
+//   - tracealloc: internal/trace hook sites must cost one branch when
+//     tracing is off — no allocation in hook arguments, no unguarded
+//     dereference past the nil-safe receiver.
+//   - snapshotquiesce: kernel.Snapshot only on quiescent machines;
+//     functions that run events, advance time or spawn processes taint
+//     their callers through a NonQuiescent fact.
+//
+// cmd/hawkeye-lint is the driver; it speaks both a standalone
+// package-pattern mode and the `go vet -vettool` protocol.
 package analysis
 
 import (
@@ -39,6 +54,10 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of what the analyzer enforces.
 	Doc string
+	// FactTypes lists a zero value of every Fact type the analyzer exports
+	// or imports; the driver registers them for vetx serialization. An
+	// analyzer with no FactTypes is purely local.
+	FactTypes []Fact
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
 }
@@ -51,7 +70,34 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	store *FactStore
 	diags []Diagnostic
+}
+
+// ExportObjectFact attaches a fact to obj, which must belong to the package
+// under analysis. A later pass of the same analyzer over any package that
+// imports this one can retrieve it with ImportObjectFact.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if obj.Pkg() != nil && obj.Pkg() != p.Pkg {
+		panic(fmt.Sprintf("%s: ExportObjectFact on object of foreign package %s", p.Analyzer.Name, obj.Pkg().Path()))
+	}
+	p.store.exportObjectFact(p.Analyzer, obj, f)
+}
+
+// ImportObjectFact copies the fact of ptr's type attached to obj into ptr
+// and reports whether one was found. obj may belong to any package.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	return p.store.importObjectFact(p.Analyzer, obj, ptr)
+}
+
+// ExportPackageFact attaches a fact to the package under analysis.
+func (p *Pass) ExportPackageFact(f Fact) {
+	p.store.exportPackageFact(p.Analyzer, p.Pkg, f)
+}
+
+// ImportPackageFact copies pkg's fact of ptr's type into ptr.
+func (p *Pass) ImportPackageFact(pkg *types.Package, ptr Fact) bool {
+	return p.store.importPackageFact(p.Analyzer, pkg, ptr)
 }
 
 // Diagnostic is one finding.
@@ -83,7 +129,14 @@ func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
 // Findings in _test.go files are dropped: the invariants bind the
 // simulation code proper, while tests are the thing that asserts them (a
 // test may legitimately time itself or fan out goroutines).
-func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+//
+// store carries cross-package facts between calls; pass the same store for
+// every package of one driver run, dependencies first. nil means "fresh
+// store" — fact imports from other packages will find nothing.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, store *FactStore) ([]Diagnostic, error) {
+	if store == nil {
+		store = NewFactStore()
+	}
 	sup, supDiags := ScanSuppressions(fset, files, analyzers)
 	out := supDiags
 	for _, a := range analyzers {
@@ -93,6 +146,7 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			store:     store,
 		}
 		if err := a.Run(pass); err != nil {
 			return out, fmt.Errorf("%s: %w", a.Name, err)

@@ -30,12 +30,17 @@ import (
 	"testing"
 
 	"hawkeye/internal/analysis"
+	"hawkeye/internal/analysis/driver"
 	"hawkeye/internal/analysis/loader"
 )
 
-// Run loads each import path from dir's testdata/src tree, applies the
-// analyzer (with //lint:allow filtering, as the real driver does), and
-// reports mismatches against // want annotations.
+// Run loads the import paths from dir's testdata/src tree and applies the
+// analyzer through the dependency-ordered driver (with //lint:allow
+// filtering and cross-package facts, exactly as the real standalone driver
+// does), then reports mismatches against // want annotations in the named
+// packages. Overlay packages that are only dependencies of the named paths
+// contribute facts but are not checked for annotations — name them
+// explicitly to assert on their diagnostics.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	t.Helper()
 	overlay, err := filepath.Abs(filepath.Join(testdata, "src"))
@@ -48,19 +53,20 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	}
 	l.Overlay = overlay
 
-	for _, path := range paths {
-		pkg, err := l.Load(path)
-		if err != nil {
-			t.Errorf("%s: %v", path, err)
-			continue
-		}
-		diags, err := analysis.RunAnalyzers(l.Fset, pkg.Files, pkg.Types, pkg.Info, []*analysis.Analyzer{a})
-		if err != nil {
-			t.Errorf("%s: %v", path, err)
-			continue
-		}
-		check(t, l.Fset, pkg.Files, diags)
+	diags, err := driver.Run(l, []*analysis.Analyzer{a}, paths)
+	if err != nil {
+		t.Fatalf("driver: %v", err)
 	}
+	var files []*ast.File
+	for _, path := range paths {
+		pkg, err := l.Load(path) // cache hit: already analyzed by the driver
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		files = append(files, pkg.Files...)
+	}
+	check(t, l.Fset, files, diags)
 }
 
 type expectation struct {

@@ -1,0 +1,591 @@
+// Package cowsafety mechanically enforces the internal/mem/cow ownership
+// contract that PR 6's seal/fork protocol rests on (DESIGN §10):
+//
+//   - a pointer obtained from Table.Mut is valid only until the table's
+//     next Seal: it must not be stored in a struct field, global or
+//     composite literal (those outlive the frame), and a local holding one
+//     must not be used after a Seal/Fork — including a Seal buried inside
+//     a callee like Allocator.Seal or Kernel.Snapshot, which the analyzer
+//     sees through the SealsOrForks fact;
+//   - a sealed table must not be written (Set/Mut/Grow) before it is
+//     forked: the write silently clears canFork and the later Fork panics
+//     at runtime — this analyzer moves that panic to lint time, again
+//     looking through callees via the WritesTable fact.
+//
+// Functions that hand a Mut pointer to their caller are not themselves
+// wrong; they export the ReturnsChunkPtr fact, and the caller's uses are
+// checked under the same rules as a direct Mut result. All three facts
+// propagate interprocedurally and across packages, so a violation can be
+// flagged in a package that never imports mem/cow directly.
+//
+// The cow package itself is exempt: it is the implementation of the
+// protocol (its materialize copy-up path is the one sanctioned writer of
+// shared chunks).
+package cowsafety
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hawkeye/internal/analysis"
+)
+
+// ReturnsChunkPtr marks a function whose return value is (or contains) a
+// pointer obtained from cow.Table.Mut — callers must treat it exactly like
+// a direct Mut result.
+type ReturnsChunkPtr struct{}
+
+// AFact marks ReturnsChunkPtr as a fact type.
+func (*ReturnsChunkPtr) AFact() {}
+
+// WritesTable marks a function that writes some cow.Table (Set, Mut or
+// Grow), directly or transitively. Calling one between a Seal and a Fork
+// invalidates the fork.
+type WritesTable struct{}
+
+// AFact marks WritesTable as a fact type.
+func (*WritesTable) AFact() {}
+
+// SealsOrForks marks a function that calls cow.Table Seal, Fork or
+// DeepClone, directly or transitively. A chunk pointer held across a call
+// to one is dangling by contract.
+type SealsOrForks struct{}
+
+// AFact marks SealsOrForks as a fact type.
+func (*SealsOrForks) AFact() {}
+
+// Analyzer enforces the COW chunk-pointer and seal/fork ordering rules.
+var Analyzer = &analysis.Analyzer{
+	Name: "cowsafety",
+	Doc: "enforce the mem/cow ownership contract: Mut chunk pointers must " +
+		"not escape or survive a Seal/Fork, and sealed tables must not be " +
+		"written before they are forked",
+	FactTypes: []analysis.Fact{(*ReturnsChunkPtr)(nil), (*WritesTable)(nil), (*SealsOrForks)(nil)},
+	Run:       run,
+}
+
+const (
+	cowPath    = "hawkeye/internal/mem/cow"
+	modulePath = "hawkeye/"
+)
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !strings.HasPrefix(path, modulePath) || path == cowPath {
+		return nil
+	}
+	c := &checker{pass: pass}
+	c.collectFuncs()
+	c.propagateLocalFacts()
+	c.exportFacts()
+	for _, fd := range c.funcs {
+		c.checkBody(fd)
+	}
+	return nil
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	funcs []*ast.FuncDecl
+	objOf map[*ast.FuncDecl]*types.Func
+
+	// Local closures of the three facts over this package's functions
+	// (imported facts are consulted separately at lookup time).
+	returnsPtr map[*types.Func]bool
+	writes     map[*types.Func]bool
+	seals      map[*types.Func]bool
+}
+
+func (c *checker) collectFuncs() {
+	c.objOf = map[*ast.FuncDecl]*types.Func{}
+	c.returnsPtr = map[*types.Func]bool{}
+	c.writes = map[*types.Func]bool{}
+	c.seals = map[*types.Func]bool{}
+	for _, f := range c.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c.funcs = append(c.funcs, fd)
+			c.objOf[fd] = fn
+		}
+	}
+}
+
+// propagateLocalFacts computes the package-local fixed point of the three
+// predicates: a function acquires a fact from its own body or from calling
+// a function (in this package or an imported one) that already has it.
+func (c *checker) propagateLocalFacts() {
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range c.funcs {
+			fn := c.objOf[fd]
+			if !c.writes[fn] && c.bodyWritesTable(fd) {
+				c.writes[fn] = true
+				changed = true
+			}
+			if !c.seals[fn] && c.bodySealsOrForks(fd) {
+				c.seals[fn] = true
+				changed = true
+			}
+			if !c.returnsPtr[fn] && c.bodyReturnsChunkPtr(fd) {
+				c.returnsPtr[fn] = true
+				changed = true
+			}
+		}
+	}
+}
+
+func (c *checker) exportFacts() {
+	for _, fd := range c.funcs {
+		fn := c.objOf[fd]
+		if c.returnsPtr[fn] {
+			c.pass.ExportObjectFact(fn, &ReturnsChunkPtr{})
+		}
+		if c.writes[fn] {
+			c.pass.ExportObjectFact(fn, &WritesTable{})
+		}
+		if c.seals[fn] {
+			c.pass.ExportObjectFact(fn, &SealsOrForks{})
+		}
+	}
+}
+
+// ---- predicate primitives --------------------------------------------------
+
+// calleeFunc resolves a call expression to the invoked *types.Func (method
+// or package-level), nil for builtins, conversions and dynamic calls.
+func (c *checker) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := c.pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := c.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isTableMethod reports whether call invokes the named method on a
+// cow.Table (any instantiation, pointer or value receiver).
+func (c *checker) isTableMethod(call *ast.CallExpr, names ...string) bool {
+	fn := c.calleeFunc(call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Origin().Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != cowPath || obj.Name() != "Table" {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// hasFact reports whether fn carries the given fact, consulting the local
+// closure first (same-package callees) and imported facts second.
+func (c *checker) hasFact(fn *types.Func, which string) bool {
+	if fn == nil {
+		return false
+	}
+	fn = fn.Origin()
+	switch which {
+	case "returns":
+		if c.returnsPtr[fn] {
+			return true
+		}
+		return c.pass.ImportObjectFact(fn, &ReturnsChunkPtr{})
+	case "writes":
+		if c.writes[fn] {
+			return true
+		}
+		return c.pass.ImportObjectFact(fn, &WritesTable{})
+	case "seals":
+		if c.seals[fn] {
+			return true
+		}
+		return c.pass.ImportObjectFact(fn, &SealsOrForks{})
+	}
+	return false
+}
+
+func (c *checker) bodyWritesTable(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if c.isTableMethod(call, "Set", "Mut", "Grow") || c.hasFact(c.calleeFunc(call), "writes") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (c *checker) bodySealsOrForks(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if c.isTableMethod(call, "Seal", "Fork", "DeepClone") || c.hasFact(c.calleeFunc(call), "seals") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (c *checker) bodyReturnsChunkPtr(fd *ast.FuncDecl) bool {
+	tainted := c.chunkPtrLocals(fd)
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if n, ok := n.(*ast.FuncLit); ok {
+			_ = n
+			return false // a closure's returns are not fd's returns
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if c.isChunkPtrExpr(res, tainted) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// chunkPtrLocals collects local variables assigned from chunk-pointer
+// sources, keyed by object, valued by the position of the defining
+// assignment.
+func (c *checker) chunkPtrLocals(fd *ast.FuncDecl) map[types.Object]token.Pos {
+	tainted := map[types.Object]token.Pos{}
+	// Iterate to a fixed point so v := w (w tainted) taints v regardless of
+	// inspection order; two rounds suffice for chains the code base has,
+	// and the loop is bounded by the monotone growth of the set.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := c.objOfIdent(id)
+				if obj == nil || tainted[obj] != 0 {
+					continue
+				}
+				if c.isChunkPtrExpr(as.Rhs[i], tainted) {
+					tainted[obj] = as.Pos()
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+func (c *checker) objOfIdent(id *ast.Ident) types.Object {
+	if o := c.pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return c.pass.TypesInfo.Uses[id]
+}
+
+// isChunkPtrExpr reports whether e evaluates to a pointer into a COW chunk:
+// a direct Table.Mut call, a call to a function carrying ReturnsChunkPtr,
+// or a local already known to hold one.
+func (c *checker) isChunkPtrExpr(e ast.Expr, tainted map[types.Object]token.Pos) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return c.isTableMethod(e, "Mut") || c.hasFact(c.calleeFunc(e), "returns")
+	case *ast.Ident:
+		obj := c.objOfIdent(e)
+		return obj != nil && tainted[obj] != 0
+	}
+	return false
+}
+
+// rootIdent peels selector/index/star/paren chains down to the base
+// identifier: the "table identity" both the seal-ordering and the
+// held-across checks key on.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+func (c *checker) rootObj(e ast.Expr) types.Object {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	return c.objOfIdent(id)
+}
+
+// receiverExpr returns the receiver expression of a method call, nil for
+// plain function calls.
+func receiverExpr(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// ---- diagnostics -----------------------------------------------------------
+
+// sealEvent is one Seal/Fork-like call inside a function body.
+type sealEvent struct {
+	pos  token.Pos
+	root types.Object // receiver/argument root the event concerns (may be nil)
+	// kind: 0 seal, 1 fork, 2 opaque (fact-carrying callee: treated as both
+	// for the held-across check, ignored for seal→write→fork pairing unless
+	// its name says which it is)
+	kind int
+	name string
+}
+
+func (c *checker) checkBody(fd *ast.FuncDecl) {
+	tainted := c.chunkPtrLocals(fd)
+	info := c.pass.TypesInfo
+
+	// Pass 1: escape checks and event collection.
+	var events []sealEvent
+	var tableWrites []sealEvent // Set/Mut/Grow and WritesTable-fact calls
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if !c.isChunkPtrExpr(n.Rhs[i], tainted) {
+					continue
+				}
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					c.pass.Reportf(n.Pos(), "COW chunk pointer stored in field %s: Mut results are valid only until the table's next Seal (copy the value instead)", l.Sel.Name)
+				case *ast.IndexExpr:
+					c.pass.Reportf(n.Pos(), "COW chunk pointer stored in a container: Mut results are valid only until the table's next Seal")
+				case *ast.Ident:
+					if obj := c.objOfIdent(l); obj != nil {
+						if v, ok := obj.(*types.Var); ok && v.Parent() == c.pass.Pkg.Scope() {
+							c.pass.Reportf(n.Pos(), "COW chunk pointer stored in package-level variable %s: Mut results are valid only until the table's next Seal", l.Name)
+						}
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if c.isChunkPtrExpr(v, tainted) {
+					c.pass.Reportf(v.Pos(), "COW chunk pointer stored in a composite literal: Mut results are valid only until the table's next Seal")
+				}
+			}
+		case *ast.CallExpr:
+			isSeal := c.isTableMethod(n, "Seal")
+			isFork := c.isTableMethod(n, "Fork", "DeepClone")
+			callee := c.calleeFunc(n)
+			factSeals := !isSeal && !isFork && c.hasFact(callee, "seals")
+			if isSeal || isFork || factSeals {
+				ev := sealEvent{pos: n.Pos(), kind: 2}
+				if isSeal {
+					ev.kind = 0
+				} else if isFork {
+					ev.kind = 1
+				} else if callee != nil {
+					// A fact-carrying callee named Seal.../Fork... (wrapper
+					// like Allocator.Seal) still tells us which side of the
+					// protocol it is; anything else stays opaque.
+					ev.name = callee.Name()
+					if strings.HasPrefix(ev.name, "Seal") {
+						ev.kind = 0
+					} else if strings.HasPrefix(ev.name, "Fork") {
+						ev.kind = 1
+					}
+				}
+				if recv := receiverExpr(n); recv != nil {
+					ev.root = c.rootObj(recv)
+				}
+				events = append(events, ev)
+				// A fact call may also seal through its arguments
+				// (SealEverything(&t)); record one event per argument root.
+				if factSeals {
+					for _, arg := range n.Args {
+						if r := c.rootObj(arg); r != nil {
+							ev2 := ev
+							ev2.root = r
+							events = append(events, ev2)
+						}
+					}
+				}
+			}
+			if c.isTableMethod(n, "Set", "Mut", "Grow") {
+				w := sealEvent{pos: n.Pos(), name: c.calleeFunc(n).Name()}
+				if recv := receiverExpr(n); recv != nil {
+					w.root = c.rootObj(recv)
+				}
+				tableWrites = append(tableWrites, w)
+			} else if !isSeal && !isFork && c.hasFact(callee, "writes") {
+				w := sealEvent{pos: n.Pos(), name: callee.Name()}
+				if recv := receiverExpr(n); recv != nil {
+					w.root = c.rootObj(recv)
+				}
+				tableWrites = append(tableWrites, w)
+				for _, arg := range n.Args {
+					if r := c.rootObj(arg); r != nil {
+						w2 := w
+						w2.root = r
+						tableWrites = append(tableWrites, w2)
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: uses of tainted locals after a same-root seal event.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		defPos, isTainted := tainted[obj], tainted[obj] != 0
+		if !isTainted || id.Pos() <= defPos {
+			return true
+		}
+		srcRoot := c.ptrSourceRoot(fd, obj, tainted)
+		for _, ev := range events {
+			if ev.pos <= defPos || ev.pos >= id.Pos() {
+				continue
+			}
+			if srcRoot != nil && ev.root != nil && srcRoot != ev.root {
+				continue // a Seal of an unrelated table does not invalidate this pointer
+			}
+			what := "a Seal/Fork"
+			if ev.name != "" {
+				what = ev.name + " (which seals or forks COW tables)"
+			}
+			c.pass.Reportf(id.Pos(), "COW chunk pointer %s used after %s: Mut results are valid only until the table's next Seal (re-fetch with Mut after sealing)", id.Name, what)
+			break
+		}
+		return true
+	})
+
+	// Pass 3: seal → write → fork ordering per root object.
+	for _, w := range tableWrites {
+		if w.root == nil {
+			continue
+		}
+		var lastSeal, nextFork *sealEvent
+		for i := range events {
+			ev := &events[i]
+			if ev.root != w.root {
+				continue
+			}
+			if ev.kind == 0 && ev.pos < w.pos && (lastSeal == nil || ev.pos > lastSeal.pos) {
+				lastSeal = ev
+			}
+			if ev.kind == 1 && ev.pos > w.pos && (nextFork == nil || ev.pos < nextFork.pos) {
+				nextFork = ev
+			}
+		}
+		if lastSeal != nil && nextFork != nil {
+			c.pass.Reportf(w.pos, "write (%s) to a sealed table before its Fork: the write invalidates canFork and the Fork will panic (fork first, or re-Seal after the write)", w.name)
+		}
+	}
+}
+
+// ptrSourceRoot recovers the table root object a tainted local's pointer
+// came from, by finding its defining assignment and taking the receiver
+// root of the chunk-pointer source expression. nil when the source has no
+// identifiable root (e.g. it came from a plain function's return).
+func (c *checker) ptrSourceRoot(fd *ast.FuncDecl, obj types.Object, tainted map[types.Object]token.Pos) types.Object {
+	var root types.Object
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if root != nil {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Pos() != tainted[obj] {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || c.objOfIdent(id) != obj {
+				continue
+			}
+			if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok {
+				if recv := receiverExpr(call); recv != nil {
+					root = c.rootObj(recv)
+				}
+			}
+		}
+		return true
+	})
+	return root
+}

@@ -1,0 +1,24 @@
+package cowsafety_test
+
+import (
+	"testing"
+
+	"hawkeye/internal/analysis/analysistest"
+	"hawkeye/internal/analysis/cowsafety"
+)
+
+func TestCowsafety(t *testing.T) {
+	analysistest.Run(t, "testdata", cowsafety.Analyzer,
+		"hawkeye/internal/mem",
+		"hawkeye/internal/kernel",
+	)
+}
+
+// TestCrossPackageFactOnly isolates the acceptance-criteria case: the
+// kernel package is analyzed alone, so every violation in it is visible
+// only through facts imported from the (dependency-analyzed) mem package.
+func TestCrossPackageFactOnly(t *testing.T) {
+	analysistest.Run(t, "testdata", cowsafety.Analyzer,
+		"hawkeye/internal/kernel",
+	)
+}

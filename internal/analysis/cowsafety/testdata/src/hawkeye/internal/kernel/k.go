@@ -1,0 +1,61 @@
+// Package kernel impersonates a consumer of the mem allocator whose
+// violations are only visible through facts imported from the mem package:
+// nothing here touches cow.Table directly, yet the chunk-pointer and
+// seal-ordering rules still bind through mem.Allocator's exported surface.
+package kernel
+
+import "hawkeye/internal/mem"
+
+type cache struct {
+	meta *mem.Meta
+}
+
+// crossStore stores the result of mem.Allocator.Meta — a chunk pointer by
+// the imported ReturnsChunkPtr fact — in a field.
+func crossStore(c *cache, a *mem.Allocator) {
+	c.meta = a.Meta(3) // want `COW chunk pointer stored in field meta`
+}
+
+// crossHeld holds a fact-derived chunk pointer across Allocator.Seal,
+// which carries the imported SealsOrForks fact.
+func crossHeld(a *mem.Allocator) uint8 {
+	m := a.Meta(4)
+	a.Seal()
+	_ = a.Fork()
+	return m.Tag // want `COW chunk pointer m used after Seal`
+}
+
+// crossSealWriteFork writes through Allocator.Touch — WritesTable by fact —
+// between Allocator.Seal and Allocator.Fork.
+func crossSealWriteFork(a *mem.Allocator) {
+	a.Seal()
+	a.Touch(1) // want `write \(Touch\) to a sealed table before its Fork`
+	_ = a.Fork()
+}
+
+// crossBorrow is fine: the pointer dies before any seal.
+func crossBorrow(a *mem.Allocator) uint8 {
+	m := a.Meta(5)
+	tag := m.Tag
+	a.Seal()
+	_ = a.Fork()
+	return tag
+}
+
+// suppressedWrite is the sanctioned copy-up pattern: the violation is
+// intentional and carries a reasoned //lint:allow, which must silence the
+// fact-based diagnostic (asserted by the absence of a want annotation).
+func suppressedWrite(a *mem.Allocator) {
+	a.Seal()
+	//lint:allow cowsafety test stand-in for the sanctioned copy-up path
+	a.Touch(2)
+	_ = a.Fork()
+}
+
+var (
+	_ = crossStore
+	_ = crossHeld
+	_ = crossSealWriteFork
+	_ = crossBorrow
+	_ = suppressedWrite
+)

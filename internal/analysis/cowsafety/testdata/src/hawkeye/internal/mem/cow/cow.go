@@ -1,0 +1,40 @@
+// Package cow impersonates hawkeye/internal/mem/cow for the cowsafety
+// analysistest: same method surface, trivial bodies. The analyzer
+// recognizes Table by package path and type name, so this stand-in
+// exercises the same code paths as the real table.
+package cow
+
+// Table is the stand-in for the chunked copy-on-write table.
+type Table[T any] struct {
+	n    int
+	data []T
+}
+
+// NewTable builds a table of n elements.
+func NewTable[T any](n int, fill T) *Table[T] {
+	return &Table[T]{n: n, data: make([]T, n)}
+}
+
+// Len returns the element count.
+func (t *Table[T]) Len() int { return t.n }
+
+// Get returns element i.
+func (t *Table[T]) Get(i int) T { return t.data[i] }
+
+// Set writes element i.
+func (t *Table[T]) Set(i int, v T) { t.data[i] = v }
+
+// Mut returns a writable pointer to element i.
+func (t *Table[T]) Mut(i int) *T { return &t.data[i] }
+
+// Seal freezes the table for forking.
+func (t *Table[T]) Seal() {}
+
+// Fork returns a copy-on-write copy of a sealed table.
+func (t *Table[T]) Fork() *Table[T] { return &Table[T]{n: t.n, data: t.data} }
+
+// DeepClone returns a deep copy.
+func (t *Table[T]) DeepClone() *Table[T] { return &Table[T]{n: t.n, data: t.data} }
+
+// Grow extends the table.
+func (t *Table[T]) Grow(n int) { t.n = n }

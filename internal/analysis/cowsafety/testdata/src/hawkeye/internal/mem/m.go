@@ -1,0 +1,104 @@
+// Package mem impersonates the allocator layer: it wraps cow.Table the way
+// the real Allocator does, so the analyzer derives ReturnsChunkPtr,
+// WritesTable and SealsOrForks facts from it — the kernel testdata package
+// then consumes those facts across the package boundary.
+package mem
+
+import "hawkeye/internal/mem/cow"
+
+// Meta is a per-frame metadata record.
+type Meta struct {
+	Tag uint8
+}
+
+// Allocator wraps a frames table like the real allocator.
+type Allocator struct {
+	frames *cow.Table[Meta]
+}
+
+// New builds an allocator over n frames.
+func New(n int) *Allocator {
+	return &Allocator{frames: cow.NewTable(n, Meta{})}
+}
+
+// Seal freezes the frame table. (fact: SealsOrForks)
+func (a *Allocator) Seal() { a.frames.Seal() }
+
+// Fork forks the sealed frame table. (fact: SealsOrForks)
+func (a *Allocator) Fork() *Allocator {
+	return &Allocator{frames: a.frames.Fork()}
+}
+
+// Touch dirties frame i. (fact: WritesTable)
+func (a *Allocator) Touch(i int) { a.frames.Set(i, Meta{Tag: 1}) }
+
+// Meta returns a writable pointer to frame i's metadata.
+// (fact: ReturnsChunkPtr — and WritesTable, since Mut materializes)
+func (a *Allocator) Meta(i int) *Meta { return a.frames.Mut(i) }
+
+// Tag reads frame i's tag; a borrow that never escapes is fine.
+func (a *Allocator) Tag(i int) uint8 {
+	m := a.frames.Mut(i)
+	return m.Tag
+}
+
+var leaked *Meta
+
+// storeGlobal leaks a chunk pointer into a package-level variable.
+func storeGlobal(a *Allocator) {
+	leaked = a.frames.Mut(0) // want `COW chunk pointer stored in package-level variable leaked`
+}
+
+type holder struct {
+	m *Meta
+}
+
+// storeField leaks a chunk pointer into a struct field.
+func storeField(h *holder, a *Allocator) {
+	h.m = a.frames.Mut(1) // want `COW chunk pointer stored in field m`
+}
+
+// storeLiteral leaks a chunk pointer through a composite literal.
+func storeLiteral(a *Allocator) *holder {
+	return &holder{m: a.frames.Mut(2)} // want `COW chunk pointer stored in a composite literal`
+}
+
+// heldAcrossSeal uses a chunk pointer after the table was sealed.
+func heldAcrossSeal(a *Allocator) uint8 {
+	m := a.frames.Mut(3)
+	a.frames.Seal()
+	_ = a.frames.Fork()
+	return m.Tag // want `COW chunk pointer m used after a Seal/Fork`
+}
+
+// unrelatedSealIsFine: sealing a different table does not invalidate m.
+func unrelatedSealIsFine(a, b *Allocator) uint8 {
+	m := a.frames.Mut(4)
+	b.frames.Seal()
+	return m.Tag
+}
+
+// sealWriteFork writes a sealed table before forking it: the Fork panics
+// at runtime, so the analyzer flags the write.
+func sealWriteFork(t *cow.Table[Meta]) {
+	t.Seal()
+	t.Set(0, Meta{}) // want `write \(Set\) to a sealed table before its Fork`
+	_ = t.Fork()
+}
+
+// sealWriteNoFork is legal: a sealed table may be written if it is never
+// forked afterwards (the machine just keeps running, paying COW).
+func sealWriteNoFork(t *cow.Table[Meta]) {
+	t.Seal()
+	t.Set(0, Meta{})
+}
+
+var (
+	_ = storeGlobal
+	_ = storeField
+	_ = storeLiteral
+	_ = heldAcrossSeal
+	_ = unrelatedSealIsFine
+	_ = sealWriteFork
+	_ = sealWriteNoFork
+)

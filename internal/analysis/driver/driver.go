@@ -1,0 +1,93 @@
+// Package driver runs the analyzer suite over many packages in dependency
+// order, threading one analysis.FactStore through the whole run so that
+// fact-producing analyzers (cowsafety, tracealloc, snapshotquiesce) see the
+// facts of every package they import. It is the engine behind both
+// hawkeye-lint's standalone mode and the analysistest harness; the
+// `go vet -vettool` path gets its ordering from cmd/go instead and moves
+// facts through .vetx files.
+//
+// Module-internal dependencies of a target that were not themselves named
+// as targets are still analyzed — facts only, diagnostics discarded — so
+// linting a single package (`hawkeye-lint ./internal/kernel`) sees the same
+// cross-package facts as linting everything.
+package driver
+
+import (
+	"fmt"
+
+	"hawkeye/internal/analysis"
+	"hawkeye/internal/analysis/loader"
+)
+
+// Run analyzes the packages at the given import paths (in the order given)
+// plus, facts-only, every module-internal dependency, and returns the
+// diagnostics of the named targets. The loader may carry an Overlay (the
+// analysistest harness does); overlay packages count as module-internal.
+func Run(l *loader.Loader, analyzers []*analysis.Analyzer, paths []string) ([]analysis.Diagnostic, error) {
+	d := &run{
+		l:         l,
+		analyzers: analyzers,
+		store:     analysis.NewFactStore(),
+		done:      map[string]bool{},
+		targets:   map[string]bool{},
+	}
+	for _, p := range paths {
+		d.targets[p] = true
+	}
+	for _, path := range paths {
+		if err := d.analyze(path); err != nil {
+			return d.diags, err
+		}
+	}
+	return d.diags, nil
+}
+
+type run struct {
+	l         *loader.Loader
+	analyzers []*analysis.Analyzer
+	store     *analysis.FactStore
+	done      map[string]bool
+	targets   map[string]bool
+	diags     []analysis.Diagnostic
+}
+
+// analyze loads path, recursively analyzes its module-internal imports
+// first, then runs the suite on path itself. Diagnostics accumulate on the
+// run (not up the call stack): a target can be reached first as another
+// target's dependency, and its findings must not depend on visit order.
+// The loader's package cache makes repeated loads cheap, and d.done keeps
+// each package's analyzers from running twice (the import graph is
+// acyclic, so plain recursion terminates).
+func (d *run) analyze(path string) error {
+	if d.done[path] {
+		return nil
+	}
+	pkg, err := d.l.Load(path)
+	if err != nil {
+		return err
+	}
+	if pkg.Files == nil || pkg.Info == nil {
+		// Dependency loaded without syntax (stdlib): nothing to analyze.
+		d.done[path] = true
+		return nil
+	}
+	// Imports first: fact producers must run before fact consumers. The
+	// types.Package import list is the authoritative dependency set.
+	for _, imp := range pkg.Types.Imports() {
+		if !d.l.InModule(imp.Path()) {
+			continue
+		}
+		if err := d.analyze(imp.Path()); err != nil {
+			return fmt.Errorf("analyzing dependency %s: %w", imp.Path(), err)
+		}
+	}
+	d.done[path] = true
+	ds, err := analysis.RunAnalyzers(d.l.Fset, pkg.Files, pkg.Types, pkg.Info, d.analyzers, d.store)
+	if err != nil {
+		return err
+	}
+	if d.targets[path] {
+		d.diags = append(d.diags, ds...)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package driver_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hawkeye/internal/analysis"
+	"hawkeye/internal/analysis/cowsafety"
+	"hawkeye/internal/analysis/driver"
+	"hawkeye/internal/analysis/loader"
+)
+
+// load builds a loader over the cowsafety testdata overlay, whose kernel
+// package imports its mem package — a two-target dependency chain.
+func load(t *testing.T) *loader.Loader {
+	t.Helper()
+	overlay, err := filepath.Abs(filepath.Join("..", "cowsafety", "testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := loader.New(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Overlay = overlay
+	return l
+}
+
+func countByPkg(diags []analysis.Diagnostic) map[string]int {
+	byPkg := map[string]int{}
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Pos.Filename, "internal/mem"):
+			byPkg["mem"]++
+		case strings.Contains(d.Pos.Filename, "internal/kernel"):
+			byPkg["kernel"]++
+		}
+	}
+	return byPkg
+}
+
+// TestTargetReachedAsDependencyFirst is the regression test for the driver
+// dropping a target's diagnostics when that target is first visited as a
+// dependency of an earlier target: naming kernel before mem makes the
+// recursion analyze mem (kernel's import) before the top-level loop reaches
+// it, and mem's findings must still be reported.
+func TestTargetReachedAsDependencyFirst(t *testing.T) {
+	for _, order := range [][]string{
+		{"hawkeye/internal/kernel", "hawkeye/internal/mem"},
+		{"hawkeye/internal/mem", "hawkeye/internal/kernel"},
+	} {
+		l := load(t)
+		diags, err := driver.Run(l, []*analysis.Analyzer{cowsafety.Analyzer}, order)
+		if err != nil {
+			t.Fatalf("order %v: %v", order, err)
+		}
+		byPkg := countByPkg(diags)
+		if byPkg["mem"] == 0 || byPkg["kernel"] == 0 {
+			t.Errorf("order %v: diagnostics missing for a named target: %v", order, byPkg)
+		}
+	}
+}
+
+// TestDependencyContributesFactsOnly: naming only kernel must surface its
+// fact-derived findings while reporting nothing for mem, which is analyzed
+// facts-only.
+func TestDependencyContributesFactsOnly(t *testing.T) {
+	l := load(t)
+	diags, err := driver.Run(l, []*analysis.Analyzer{cowsafety.Analyzer}, []string{"hawkeye/internal/kernel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPkg := countByPkg(diags)
+	if byPkg["mem"] != 0 {
+		t.Errorf("mem was not a target but contributed %d diagnostics", byPkg["mem"])
+	}
+	if byPkg["kernel"] == 0 {
+		t.Error("kernel findings missing: imported facts did not flow")
+	}
+}

@@ -1,0 +1,318 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Facts are how analyzers communicate across package boundaries, mirroring
+// golang.org/x/tools/go/analysis: an analyzer running on package P may
+// attach a typed fact to one of P's objects (a function, method or
+// package-level variable) or to P itself; when the same analyzer later runs
+// on a package that imports P, it can look those facts up. Facts turn the
+// per-package checks into a modular whole-program analysis: "this function
+// returns a COW chunk pointer", "this function allocates", "this function
+// leaves the machine non-quiescent" are all facts, and the diagnostics they
+// enable fire in packages that never see the defining source.
+//
+// Fact types must be pointers to structs and must be gob-encodable: the
+// standalone driver shares a FactStore in memory, but the `go vet -vettool`
+// protocol runs one process per package, so facts travel through the .vetx
+// files cmd/go threads between invocations (see EncodeVetx/DecodeVetx).
+// Objects are addressed by a two-segment path — "FuncName" for package-level
+// functions and variables, "TypeName.Method" for methods — which covers
+// every object the HawkEye analyzers attach facts to.
+
+// Fact is the interface of analyzer facts. The AFact method is a marker,
+// never called; implementing it declares intent, exactly as in x/tools.
+type Fact interface {
+	AFact()
+}
+
+type objFactKey struct {
+	analyzer string
+	obj      types.Object
+}
+
+type pkgFactKey struct {
+	analyzer string
+	pkg      *types.Package
+}
+
+// FactStore holds the facts produced by every analyzer over every package
+// analyzed so far in one driver run. A single store is shared across
+// packages; the driver guarantees dependencies are analyzed before
+// dependents, so imports always find their facts present.
+type FactStore struct {
+	objects  map[objFactKey][]Fact
+	packages map[pkgFactKey][]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{
+		objects:  map[objFactKey][]Fact{},
+		packages: map[pkgFactKey][]Fact{},
+	}
+}
+
+func factType(f Fact) reflect.Type {
+	t := reflect.TypeOf(f)
+	if t == nil || t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("analysis: fact %T is not a pointer", f))
+	}
+	return t
+}
+
+func (s *FactStore) exportObjectFact(a *Analyzer, obj types.Object, f Fact) {
+	if obj == nil {
+		panic("analysis: ExportObjectFact with nil object")
+	}
+	key := objFactKey{a.Name, obj}
+	ft := factType(f)
+	for i, old := range s.objects[key] {
+		if reflect.TypeOf(old) == ft {
+			s.objects[key][i] = f // replace, as x/tools does
+			return
+		}
+	}
+	s.objects[key] = append(s.objects[key], f)
+}
+
+func (s *FactStore) importObjectFact(a *Analyzer, obj types.Object, ptr Fact) bool {
+	ft := factType(ptr)
+	for _, f := range s.objects[objFactKey{a.Name, obj}] {
+		if reflect.TypeOf(f) == ft {
+			reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+func (s *FactStore) exportPackageFact(a *Analyzer, pkg *types.Package, f Fact) {
+	key := pkgFactKey{a.Name, pkg}
+	ft := factType(f)
+	for i, old := range s.packages[key] {
+		if reflect.TypeOf(old) == ft {
+			s.packages[key][i] = f
+			return
+		}
+	}
+	s.packages[key] = append(s.packages[key], f)
+}
+
+func (s *FactStore) importPackageFact(a *Analyzer, pkg *types.Package, ptr Fact) bool {
+	ft := factType(ptr)
+	for _, f := range s.packages[pkgFactKey{a.Name, pkg}] {
+		if reflect.TypeOf(f) == ft {
+			reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+// ---- object addressing -----------------------------------------------------
+
+// objectPath renders obj as a stable address within its package: "Name" for
+// package-scope objects, "Type.Method" for methods (receiver pointer-ness is
+// irrelevant — method sets are resolved at decode time). Objects that are
+// neither (locals, struct fields, interface methods) are not addressable and
+// yield "": their facts stay process-local, which is sound — an
+// unaddressable object cannot be referenced from another package either.
+func objectPath(obj types.Object) string {
+	if obj.Pkg() == nil {
+		return ""
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		fn = fn.Origin() // address the generic origin, not an instantiation
+		sig := fn.Type().(*types.Signature)
+		if recv := sig.Recv(); recv != nil {
+			named := namedOf(recv.Type())
+			if named == nil {
+				return ""
+			}
+			return named.Obj().Name() + "." + fn.Name()
+		}
+		if fn.Pkg().Scope().Lookup(fn.Name()) != fn {
+			return ""
+		}
+		return fn.Name()
+	}
+	if obj.Parent() == obj.Pkg().Scope() {
+		return obj.Name()
+	}
+	return ""
+}
+
+// resolveObjectPath is objectPath's inverse against a type-checked package.
+func resolveObjectPath(pkg *types.Package, path string) types.Object {
+	if tn, mname, ok := strings.Cut(path, "."); ok {
+		obj, okT := pkg.Scope().Lookup(tn).(*types.TypeName)
+		if !okT {
+			return nil
+		}
+		named, okN := obj.Type().(*types.Named)
+		if !okN {
+			return nil
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == mname {
+				return m
+			}
+		}
+		return nil
+	}
+	return pkg.Scope().Lookup(path)
+}
+
+// namedOf unwraps pointers and generic instantiations down to the origin
+// *types.Named, or nil.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return n.Origin()
+}
+
+// ---- vetx serialization ----------------------------------------------------
+
+// vetxRecord is one serialized fact. Object "" means a package fact.
+type vetxRecord struct {
+	PkgPath  string
+	Analyzer string
+	Object   string
+	Fact     Fact
+}
+
+// RegisterFactTypes registers every analyzer's declared fact types with gob.
+// Must be called once (idempotent per type) before Encode/DecodeVetx.
+func RegisterFactTypes(analyzers []*Analyzer) {
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+}
+
+// EncodeVetx serializes every addressable fact in the store whose package
+// lies within the import closure rooted at pkg (pkg itself included). The
+// closure rule makes vetx files transitive: a package's file re-exports the
+// facts of everything beneath it, so a dependent needs only its direct
+// imports' files — exactly the contract cmd/go's PackageVetx map provides.
+// Output is deterministic: records are sorted by package, analyzer, object
+// and fact type.
+func (s *FactStore) EncodeVetx(pkg *types.Package, analyzers []*Analyzer) ([]byte, error) {
+	inClosure := map[*types.Package]bool{}
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		if inClosure[p] {
+			return
+		}
+		inClosure[p] = true
+		for _, imp := range p.Imports() {
+			walk(imp)
+		}
+	}
+	walk(pkg)
+
+	var recs []vetxRecord
+	for key, facts := range s.objects {
+		if key.obj.Pkg() == nil || !inClosure[key.obj.Pkg()] {
+			continue
+		}
+		path := objectPath(key.obj)
+		if path == "" {
+			continue
+		}
+		for _, f := range facts {
+			recs = append(recs, vetxRecord{key.obj.Pkg().Path(), key.analyzer, path, f})
+		}
+	}
+	for key, facts := range s.packages {
+		if !inClosure[key.pkg] {
+			continue
+		}
+		for _, f := range facts {
+			recs = append(recs, vetxRecord{key.pkg.Path(), key.analyzer, "", f})
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.PkgPath != b.PkgPath {
+			return a.PkgPath < b.PkgPath
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		return reflect.TypeOf(a.Fact).String() < reflect.TypeOf(b.Fact).String()
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(recs); err != nil {
+		return nil, fmt.Errorf("analysis: encoding facts: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeVetx merges serialized facts into the store, resolving objects
+// against the packages reachable from root's import graph. Records for
+// packages or objects that cannot be resolved are skipped: a fact about an
+// object this compilation cannot name is a fact it cannot use either. An
+// empty payload is valid (a dependency with no facts). analyzers maps names
+// back to Analyzer identities; records from unknown analyzers are dropped.
+func (s *FactStore) DecodeVetx(data []byte, root *types.Package, analyzers []*Analyzer) error {
+	if len(data) == 0 {
+		return nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	pkgs := map[string]*types.Package{}
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		if _, ok := pkgs[p.Path()]; ok {
+			return
+		}
+		pkgs[p.Path()] = p
+		for _, imp := range p.Imports() {
+			walk(imp)
+		}
+	}
+	walk(root)
+
+	var recs []vetxRecord
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&recs); err != nil {
+		return fmt.Errorf("analysis: decoding facts: %w", err)
+	}
+	for _, r := range recs {
+		a := byName[r.Analyzer]
+		pkg := pkgs[r.PkgPath]
+		if a == nil || pkg == nil {
+			continue
+		}
+		if r.Object == "" {
+			s.exportPackageFact(a, pkg, r.Fact)
+			continue
+		}
+		obj := resolveObjectPath(pkg, r.Object)
+		if obj == nil {
+			continue
+		}
+		s.exportObjectFact(a, obj, r.Fact)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// testFact is a minimal gob-encodable fact carrying a payload, so the
+// round-trip test can verify the value survives, not just the presence.
+type testFact struct{ N int }
+
+func (*testFact) AFact() {}
+
+var vetxTestAnalyzer = &Analyzer{
+	Name:      "vetxtest",
+	Doc:       "test analyzer for vetx round-trips",
+	FactTypes: []Fact{(*testFact)(nil)},
+	Run:       func(*Pass) error { return nil },
+}
+
+const vetxTestSrc = `package p
+
+type T struct{}
+
+func (T) M() {}
+
+func F() {}
+`
+
+// checkTestPkg type-checks vetxTestSrc into a fresh *types.Package —
+// called twice to model the two separate processes of the unitchecker
+// protocol, whose object identities never overlap.
+func checkTestPkg(t *testing.T) *types.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", vetxTestSrc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("example.com/p", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func lookupFunc(t *testing.T, pkg *types.Package, path string) types.Object {
+	t.Helper()
+	obj := resolveObjectPath(pkg, path)
+	if obj == nil {
+		t.Fatalf("object %q not found in %s", path, pkg.Path())
+	}
+	return obj
+}
+
+// TestVetxRoundTrip exports facts on a function, a method and the package,
+// encodes them, and decodes into a store resolving against an independent
+// type-check of the same source — exactly what a downstream `go vet`
+// process does with a PackageVetx file.
+func TestVetxRoundTrip(t *testing.T) {
+	RegisterFactTypes([]*Analyzer{vetxTestAnalyzer})
+
+	src := checkTestPkg(t)
+	store := NewFactStore()
+	store.exportObjectFact(vetxTestAnalyzer, lookupFunc(t, src, "F"), &testFact{N: 1})
+	store.exportObjectFact(vetxTestAnalyzer, lookupFunc(t, src, "T.M"), &testFact{N: 2})
+	store.exportPackageFact(vetxTestAnalyzer, src, &testFact{N: 3})
+
+	data, err := store.EncodeVetx(src, []*Analyzer{vetxTestAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := checkTestPkg(t) // fresh object identities
+	store2 := NewFactStore()
+	if err := store2.DecodeVetx(data, dst, []*Analyzer{vetxTestAnalyzer}); err != nil {
+		t.Fatal(err)
+	}
+	var got testFact
+	if !store2.importObjectFact(vetxTestAnalyzer, lookupFunc(t, dst, "F"), &got) || got.N != 1 {
+		t.Errorf("fact on F: got %+v, want {N:1}", got)
+	}
+	if !store2.importObjectFact(vetxTestAnalyzer, lookupFunc(t, dst, "T.M"), &got) || got.N != 2 {
+		t.Errorf("fact on T.M: got %+v, want {N:2}", got)
+	}
+	if !store2.importPackageFact(vetxTestAnalyzer, dst, &got) || got.N != 3 {
+		t.Errorf("package fact: got %+v, want {N:3}", got)
+	}
+}
+
+// TestVetxDeterministic: the encoding must be byte-identical across calls —
+// map iteration order must not leak into the file.
+func TestVetxDeterministic(t *testing.T) {
+	RegisterFactTypes([]*Analyzer{vetxTestAnalyzer})
+	src := checkTestPkg(t)
+	store := NewFactStore()
+	store.exportObjectFact(vetxTestAnalyzer, lookupFunc(t, src, "F"), &testFact{N: 1})
+	store.exportObjectFact(vetxTestAnalyzer, lookupFunc(t, src, "T.M"), &testFact{N: 2})
+	store.exportPackageFact(vetxTestAnalyzer, src, &testFact{N: 3})
+
+	first, err := store.EncodeVetx(src, []*Analyzer{vetxTestAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		again, err := store.EncodeVetx(src, []*Analyzer{vetxTestAnalyzer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("encoding %d differs from the first", i)
+		}
+	}
+}
+
+// TestVetxEmptyPayload: an empty vetx file (a dependency with no facts)
+// decodes to nothing without error.
+func TestVetxEmptyPayload(t *testing.T) {
+	dst := checkTestPkg(t)
+	store := NewFactStore()
+	if err := store.DecodeVetx(nil, dst, []*Analyzer{vetxTestAnalyzer}); err != nil {
+		t.Fatal(err)
+	}
+}

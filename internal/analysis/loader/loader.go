@@ -174,6 +174,18 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	return l.load(path, true, nil)
 }
 
+// DirImportPath derives the import path of the package in dir from the
+// module (or overlay) layout, without loading it. hawkeye-lint uses it to
+// turn expanded `./...` directories into driver targets.
+func (l *Loader) DirImportPath(dir string) (string, error) {
+	l.init()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	return l.dirToImportPath(abs)
+}
+
 func (l *Loader) dirToImportPath(abs string) (string, error) {
 	if l.Overlay != "" {
 		if rel, err := filepath.Rel(l.Overlay, abs); err == nil && !strings.HasPrefix(rel, "..") {
@@ -208,6 +220,12 @@ func (l *Loader) load(path string, target bool, stack []string) (*Package, error
 	l.cache[path] = &entry{pkg: pkg, err: err}
 	return pkg, err
 }
+
+// InModule reports whether path belongs to the enclosing module (or to an
+// overlay tree impersonating it) — i.e. whether Load returns it with syntax
+// and type info retained. The multi-package driver uses this to decide
+// which dependencies to analyze for facts.
+func (l *Loader) InModule(path string) bool { return l.inModule(path) }
 
 // inModule reports whether path belongs to the enclosing module (or to an
 // overlay tree impersonating it).

@@ -1,0 +1,448 @@
+// Package snapshotquiesce enforces the kernel.Snapshot quiescence contract
+// (DESIGN §9): a machine may be snapshotted only before anything has moved
+// — private engine, simulated time zero, no event fired, no process
+// spawned. Kernel.Snapshot panics at runtime when the contract is broken;
+// this analyzer moves that panic to lint time and makes it travel across
+// call boundaries, where the runtime check cannot help until the code runs.
+//
+// The seeds of non-quiescence are the operations the runtime check tests
+// for: (*sim.Engine).Run and (*sim.Clock).Advance (time moves, events
+// fire) and (*kernel.Kernel).Spawn / SpawnAt (procs become nonempty).
+// Everything else is derived:
+//
+//   - a function that disturbs a kernel or engine reachable from its
+//     receiver or parameters exports the NonQuiescent fact — calling it
+//     taints the machine passed in (kernel.Run gets this automatically,
+//     because its body calls Engine.Run on the receiver);
+//   - a function that returns a machine it disturbed (a "warm build"
+//     helper) exports ReturnsNonQuiescent — machines assigned from such a
+//     call are born tainted.
+//
+// A Snapshot call on a root that was tainted earlier in the function — by
+// a seed, a NonQuiescent callee, or a ReturnsNonQuiescent definition — is
+// reported. Quiescent state shaping (FragmentMemory*, direct table writes)
+// never taints: it fires no events and spawns nothing.
+package snapshotquiesce
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hawkeye/internal/analysis"
+)
+
+// NonQuiescent marks a function that disturbs the quiescence of a kernel
+// or engine reachable from its receiver or parameters: after calling it,
+// that machine can no longer be snapshotted.
+type NonQuiescent struct{}
+
+// AFact marks NonQuiescent as a fact type.
+func (*NonQuiescent) AFact() {}
+
+// ReturnsNonQuiescent marks a function whose return value is (or contains)
+// a machine it already disturbed — callers must not Snapshot it.
+type ReturnsNonQuiescent struct{}
+
+// AFact marks ReturnsNonQuiescent as a fact type.
+func (*ReturnsNonQuiescent) AFact() {}
+
+// Analyzer enforces the Snapshot-only-quiescent-machines contract.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotquiesce",
+	Doc: "kernel.Snapshot requires a quiescent machine: no engine run, no " +
+		"clock advance, no process spawned — violations are found through " +
+		"NonQuiescent facts even when the disturbance hides in a callee",
+	FactTypes: []analysis.Fact{(*NonQuiescent)(nil), (*ReturnsNonQuiescent)(nil)},
+	Run:       run,
+}
+
+const (
+	kernelPath = "hawkeye/internal/kernel"
+	simPath    = "hawkeye/internal/sim"
+	modulePath = "hawkeye/"
+)
+
+func run(pass *analysis.Pass) error {
+	if !strings.HasPrefix(pass.Pkg.Path(), modulePath) {
+		return nil
+	}
+	c := &checker{pass: pass}
+	c.collectFuncs()
+	c.propagateLocalFacts()
+	c.exportFacts()
+	for _, fd := range c.funcs {
+		c.checkBody(fd)
+	}
+	return nil
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	funcs []*ast.FuncDecl
+	objOf map[*ast.FuncDecl]*types.Func
+
+	nonQuiescent map[*types.Func]bool
+	returnsWarm  map[*types.Func]bool
+}
+
+func (c *checker) collectFuncs() {
+	c.objOf = map[*ast.FuncDecl]*types.Func{}
+	c.nonQuiescent = map[*types.Func]bool{}
+	c.returnsWarm = map[*types.Func]bool{}
+	for _, f := range c.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c.funcs = append(c.funcs, fd)
+			c.objOf[fd] = fn
+		}
+	}
+}
+
+func (c *checker) propagateLocalFacts() {
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range c.funcs {
+			fn := c.objOf[fd]
+			if !c.nonQuiescent[fn] && c.bodyDisturbsParam(fd) {
+				c.nonQuiescent[fn] = true
+				changed = true
+			}
+			if !c.returnsWarm[fn] && c.bodyReturnsDisturbed(fd) {
+				c.returnsWarm[fn] = true
+				changed = true
+			}
+		}
+	}
+}
+
+func (c *checker) exportFacts() {
+	for _, fd := range c.funcs {
+		fn := c.objOf[fd]
+		if c.nonQuiescent[fn] {
+			c.pass.ExportObjectFact(fn, &NonQuiescent{})
+		}
+		if c.returnsWarm[fn] {
+			c.pass.ExportObjectFact(fn, &ReturnsNonQuiescent{})
+		}
+	}
+}
+
+// ---- predicate primitives --------------------------------------------------
+
+func (c *checker) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := c.pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := c.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// methodOn reports whether fn is a method named one of names on the named
+// type typeName from package pkgPath (pointer or value receiver).
+func methodOn(fn *types.Func, pkgPath, typeName string, names ...string) bool {
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Origin().Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != pkgPath || obj.Name() != typeName {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isSeed reports whether fn is one of the operations the runtime
+// quiescence check tests for.
+func isSeed(fn *types.Func) bool {
+	return methodOn(fn, simPath, "Engine", "Run") ||
+		methodOn(fn, simPath, "Clock", "Advance") ||
+		methodOn(fn, kernelPath, "Kernel", "Spawn", "SpawnAt")
+}
+
+func isSnapshot(fn *types.Func) bool {
+	return methodOn(fn, kernelPath, "Kernel", "Snapshot")
+}
+
+// hasFact consults the local fixed-point closure first, imported facts
+// second.
+func (c *checker) hasFact(fn *types.Func, which string) bool {
+	if fn == nil {
+		return false
+	}
+	fn = fn.Origin()
+	switch which {
+	case "nonquiescent":
+		if c.nonQuiescent[fn] {
+			return true
+		}
+		return c.pass.ImportObjectFact(fn, &NonQuiescent{})
+	case "returnswarm":
+		if c.returnsWarm[fn] {
+			return true
+		}
+		return c.pass.ImportObjectFact(fn, &ReturnsNonQuiescent{})
+	}
+	return false
+}
+
+// disturbingCall reports whether call disturbs quiescence, and names the
+// operation when it does.
+func (c *checker) disturbingCall(call *ast.CallExpr) (string, bool) {
+	fn := c.calleeFunc(call)
+	if fn == nil {
+		return "", false
+	}
+	if isSeed(fn) || c.hasFact(fn, "nonquiescent") {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// paramObjs collects the receiver and parameter objects of fd.
+func (c *checker) paramObjs(fd *ast.FuncDecl) map[types.Object]bool {
+	params := map[types.Object]bool{}
+	sig, ok := c.objOf[fd].Type().(*types.Signature)
+	if !ok {
+		return params
+	}
+	if r := sig.Recv(); r != nil {
+		params[r] = true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		params[sig.Params().At(i)] = true
+	}
+	return params
+}
+
+// bodyDisturbsParam reports whether fd's body makes a disturbing call whose
+// root object is fd's receiver or a parameter — the caller's machine.
+func (c *checker) bodyDisturbsParam(fd *ast.FuncDecl) bool {
+	params := c.paramObjs(fd)
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, disturbs := c.disturbingCall(call); !disturbs {
+			return true
+		}
+		for _, root := range c.callRoots(call) {
+			if params[root] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// bodyReturnsDisturbed reports whether fd returns a machine it disturbed:
+// a local that was the root of a disturbing call, or the result of a
+// ReturnsNonQuiescent callee.
+func (c *checker) bodyReturnsDisturbed(fd *ast.FuncDecl) bool {
+	disturbed := c.disturbedLocals(fd)
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a closure's returns are not fd's returns
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			switch r := ast.Unparen(res).(type) {
+			case *ast.Ident:
+				if obj := c.objOfIdent(r); obj != nil && disturbed[obj] != 0 {
+					found = true
+				}
+			case *ast.CallExpr:
+				if c.hasFact(c.calleeFunc(r), "returnswarm") {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (c *checker) objOfIdent(id *ast.Ident) types.Object {
+	if o := c.pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return c.pass.TypesInfo.Uses[id]
+}
+
+// rootIdent peels selector/index/star/paren/call chains down to the base
+// identifier: the machine identity both checks key on.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+func (c *checker) rootObj(e ast.Expr) types.Object {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	return c.objOfIdent(id)
+}
+
+// callRoots returns the root objects a call could disturb: the receiver
+// root and every argument root. Nil roots are dropped.
+func (c *checker) callRoots(call *ast.CallExpr) []types.Object {
+	var roots []types.Object
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if r := c.rootObj(sel.X); r != nil {
+			roots = append(roots, r)
+		}
+	}
+	for _, arg := range call.Args {
+		if r := c.rootObj(arg); r != nil {
+			roots = append(roots, r)
+		}
+	}
+	return roots
+}
+
+// ---- diagnostics -----------------------------------------------------------
+
+// taint records one quiescence disturbance of a root object.
+type taint struct {
+	pos  token.Pos
+	root types.Object
+	name string // the disturbing operation, for the message
+}
+
+// disturbedLocals maps objects to the position where they were first
+// disturbed: roots of disturbing calls, and locals assigned from a
+// ReturnsNonQuiescent call (tainted at birth).
+func (c *checker) disturbedLocals(fd *ast.FuncDecl) map[types.Object]token.Pos {
+	first := map[types.Object]token.Pos{}
+	for _, t := range c.taints(fd) {
+		if p, ok := first[t.root]; !ok || t.pos < p {
+			first[t.root] = t.pos
+		}
+	}
+	return first
+}
+
+// taints collects every disturbance event in fd's body.
+func (c *checker) taints(fd *ast.FuncDecl) []taint {
+	var out []taint
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			name, disturbs := c.disturbingCall(n)
+			if !disturbs {
+				return true
+			}
+			for _, root := range c.callRoots(n) {
+				out = append(out, taint{pos: n.Pos(), root: root, name: name})
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if fn := c.calleeFunc(call); c.hasFact(fn, "returnswarm") {
+					if obj := c.objOfIdent(id); obj != nil {
+						out = append(out, taint{pos: n.Pos(), root: obj, name: fn.Name()})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func (c *checker) checkBody(fd *ast.FuncDecl) {
+	taints := c.taints(fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isSnapshot(c.calleeFunc(call)) {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		root := c.rootObj(sel.X)
+		if root == nil {
+			return true
+		}
+		for _, t := range taints {
+			if t.root != root || t.pos >= call.Pos() {
+				continue
+			}
+			c.pass.Reportf(call.Pos(), "Snapshot of a non-quiescent machine: %s already disturbed it (Snapshot requires a private engine at time zero with no events fired and no procs spawned — snapshot before running, or rebuild)", t.name)
+			break
+		}
+		return true
+	})
+}

@@ -1,0 +1,18 @@
+package snapshotquiesce_test
+
+import (
+	"testing"
+
+	"hawkeye/internal/analysis/analysistest"
+	"hawkeye/internal/analysis/snapshotquiesce"
+)
+
+// TestSnapshotquiesce analyzes the experiments testdata package; the
+// driver loads sim, kernel and workload first as facts-only dependencies,
+// so the WarmUp/BuildWarm/Run diagnostics in experiments are visible only
+// through imported NonQuiescent / ReturnsNonQuiescent facts.
+func TestSnapshotquiesce(t *testing.T) {
+	analysistest.Run(t, "testdata", snapshotquiesce.Analyzer,
+		"hawkeye/internal/experiments",
+	)
+}

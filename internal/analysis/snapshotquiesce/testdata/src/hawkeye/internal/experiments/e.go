@@ -1,0 +1,101 @@
+// Package experiments impersonates the top runner layer: it snapshots
+// machines in every way the quiescence contract can be broken — directly
+// by seeds, and indirectly through NonQuiescent / ReturnsNonQuiescent
+// facts imported from the kernel and workload packages.
+package experiments
+
+import (
+	"hawkeye/internal/kernel"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/workload"
+)
+
+// snapshotAfterSpawn breaks the contract with a direct seed call.
+func snapshotAfterSpawn() *kernel.Snapshot {
+	k := kernel.New()
+	k.Spawn("w", func() {})
+	return k.Snapshot() // want `Snapshot of a non-quiescent machine: Spawn already disturbed it`
+}
+
+// snapshotAfterRun: kernel.Run carries the NonQuiescent fact (its body
+// calls Engine.Run on the receiver), imported from the kernel package.
+func snapshotAfterRun() *kernel.Snapshot {
+	k := kernel.New()
+	_ = k.Run(sim.Time(100))
+	return k.Snapshot() // want `Snapshot of a non-quiescent machine: Run already disturbed it`
+}
+
+// snapshotAfterAdvance: advancing the engine clock is a seed too.
+func snapshotAfterAdvance() *kernel.Snapshot {
+	k := kernel.New()
+	k.Engine.Clock.Advance(sim.Time(5))
+	return k.Snapshot() // want `Snapshot of a non-quiescent machine: Advance already disturbed it`
+}
+
+// snapshotAfterWarmUp: the disturbance hides two calls deep, visible only
+// through workload.WarmUp's imported NonQuiescent fact.
+func snapshotAfterWarmUp() *kernel.Snapshot {
+	k := kernel.New()
+	_ = workload.WarmUp(k)
+	return k.Snapshot() // want `Snapshot of a non-quiescent machine: WarmUp already disturbed it`
+}
+
+// snapshotOfWarmBuild: the machine is born tainted, via BuildWarm's
+// imported ReturnsNonQuiescent fact.
+func snapshotOfWarmBuild() *kernel.Snapshot {
+	k := workload.BuildWarm()
+	return k.Snapshot() // want `Snapshot of a non-quiescent machine: BuildWarm already disturbed it`
+}
+
+// snapshotAfterShaping is the sanctioned pattern: fragmenting fires no
+// events and spawns nothing.
+func snapshotAfterShaping() *kernel.Snapshot {
+	k := kernel.New()
+	k.FragmentMemory(0.15)
+	return k.Snapshot()
+}
+
+// snapshotOfColdBuild: BuildCold carries no fact, so its result is clean.
+func snapshotOfColdBuild() *kernel.Snapshot {
+	k := workload.BuildCold()
+	return k.Snapshot()
+}
+
+// snapshotUnrelatedMachine: disturbing one machine does not taint another.
+func snapshotUnrelatedMachine() *kernel.Snapshot {
+	warm := kernel.New()
+	cold := kernel.New()
+	_ = workload.WarmUp(warm)
+	return cold.Snapshot()
+}
+
+// snapshotThenRun is the canonical ordering: capture first, run after.
+func snapshotThenRun() *kernel.Snapshot {
+	k := kernel.New()
+	s := k.Snapshot()
+	_ = k.Run(sim.Time(100))
+	return s
+}
+
+// suppressedSnapshot is intentionally non-quiescent with a reasoned
+// //lint:allow — the suppression must silence the fact-based diagnostic
+// (asserted by the absence of a want annotation).
+func suppressedSnapshot() *kernel.Snapshot {
+	k := kernel.New()
+	_ = workload.WarmUp(k)
+	//lint:allow snapshotquiesce test stand-in for a deliberately warm capture
+	return k.Snapshot()
+}
+
+var (
+	_ = snapshotAfterSpawn
+	_ = snapshotAfterRun
+	_ = snapshotAfterAdvance
+	_ = snapshotAfterWarmUp
+	_ = snapshotOfWarmBuild
+	_ = snapshotAfterShaping
+	_ = snapshotOfColdBuild
+	_ = snapshotUnrelatedMachine
+	_ = snapshotThenRun
+	_ = suppressedSnapshot
+)

@@ -1,0 +1,44 @@
+// Package kernel impersonates hawkeye/internal/kernel: Kernel.Run calls
+// Engine.Run on the receiver's engine, so the analyzer derives the
+// NonQuiescent fact for it exactly as it does for the real kernel — the
+// workload and experiments testdata packages then consume that fact across
+// package boundaries.
+package kernel
+
+import "hawkeye/internal/sim"
+
+// Program is a stand-in process program.
+type Program func()
+
+// Kernel is the simulated machine.
+type Kernel struct {
+	Engine *sim.Engine
+	procs  []Program
+}
+
+// New builds a quiescent machine on a private engine.
+func New() *Kernel { return &Kernel{Engine: sim.NewEngine()} }
+
+// Spawn adds a process. (seed: non-quiescent)
+func (k *Kernel) Spawn(name string, prog Program) { k.procs = append(k.procs, prog) }
+
+// SpawnAt adds a process after a delay. (seed: non-quiescent)
+func (k *Kernel) SpawnAt(delay sim.Time, name string, prog Program) { k.procs = append(k.procs, prog) }
+
+// Run fires events up to deadline. (derived fact: NonQuiescent, because the
+// body calls Engine.Run on the receiver's engine)
+func (k *Kernel) Run(deadline sim.Time) error { return k.Engine.Run(deadline) }
+
+// FragmentMemory is quiescent state shaping: no events, no procs.
+func (k *Kernel) FragmentMemory(keep float64) { _ = keep }
+
+// Snapshot captures the machine; panics at runtime unless quiescent.
+type Snapshot struct{ cfg int }
+
+// Snapshot captures the machine's state for later forks.
+func (k *Kernel) Snapshot() *Snapshot {
+	if k.Engine.Fired() != 0 || k.Engine.Clock.Now() != 0 || len(k.procs) != 0 {
+		panic("kernel: Snapshot of a non-quiescent machine")
+	}
+	return &Snapshot{}
+}

@@ -1,0 +1,38 @@
+// Package sim impersonates hawkeye/internal/sim for the snapshotquiesce
+// analysistest: same seed surface (Engine.Run, Clock.Advance), trivial
+// bodies. The analyzer recognizes the seeds by package path, type and
+// method name.
+package sim
+
+// Time is simulated time.
+type Time int64
+
+// Clock tracks simulated time.
+type Clock struct {
+	now Time
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves simulated time forward. (seed: non-quiescent)
+func (c *Clock) Advance(t Time) { c.now += t }
+
+// Engine is the discrete-event engine.
+type Engine struct {
+	Clock *Clock
+	fired uint64
+}
+
+// NewEngine builds an engine at time zero.
+func NewEngine() *Engine { return &Engine{Clock: &Clock{}} }
+
+// Fired returns the number of events fired so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Run fires events up to deadline. (seed: non-quiescent)
+func (e *Engine) Run(deadline Time) error {
+	e.fired++
+	e.Clock.Advance(deadline - e.Clock.Now())
+	return nil
+}

@@ -1,0 +1,33 @@
+// Package workload impersonates a warm-up helper layer: WarmUp disturbs
+// the machine passed in (NonQuiescent, through the kernel.Run fact) and
+// BuildWarm returns a machine it already ran (ReturnsNonQuiescent). The
+// experiments testdata package trips on both facts across the package
+// boundary.
+package workload
+
+import (
+	"hawkeye/internal/kernel"
+	"hawkeye/internal/sim"
+)
+
+// WarmUp runs the machine to populate its tables. (fact: NonQuiescent)
+func WarmUp(k *kernel.Kernel) error {
+	return k.Run(sim.Time(1000))
+}
+
+// BuildWarm constructs and runs a machine, returning it warm.
+// (fact: ReturnsNonQuiescent)
+func BuildWarm() *kernel.Kernel {
+	k := kernel.New()
+	k.Spawn("warm", func() {})
+	_ = k.Run(sim.Time(1000))
+	return k
+}
+
+// BuildCold constructs and shapes a machine without running it: fragmenting
+// fires no events and spawns nothing, so the result is snapshot-safe.
+func BuildCold() *kernel.Kernel {
+	k := kernel.New()
+	k.FragmentMemory(0.15)
+	return k
+}

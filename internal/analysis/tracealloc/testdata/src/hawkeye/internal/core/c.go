@@ -1,0 +1,132 @@
+// Package core impersonates a trace-hook consumer: it holds possibly-nil
+// recorder handles and calls hooks on the simulator hot path. Violations
+// cover every allocation class plus the Counters-deref rule; the
+// vmm.Label cases are visible only through the imported Allocates fact.
+package core
+
+import (
+	"fmt"
+
+	"hawkeye/internal/trace"
+	"hawkeye/internal/vmm"
+)
+
+// Machine holds a possibly-nil recorder, like the real kernel.
+type Machine struct {
+	Trace *trace.Recorder
+}
+
+// describe allocates (string concat); the analyzer derives a local
+// Allocates fact and propagates it into hook-argument checks.
+func describe(pid int32) string {
+	s := "pid"
+	if pid > 9 {
+		s = s + "+"
+	}
+	return s
+}
+
+// sprintfInHookArg: fmt in a hook argument runs even when tracing is off.
+func sprintfInHookArg(m *Machine, pid int32) {
+	m.Trace.Emit(trace.Event{Kind: 1, PID: pid, Note: fmt.Sprintf("pid=%d", pid)}) // want `allocation in Emit hook argument \(call to allocating function Sprintf\)`
+}
+
+// concatInHookArg: non-constant string concatenation allocates.
+func concatInHookArg(m *Machine, name string) {
+	m.Trace.TrackName(1, "proc-"+name) // want `allocation in TrackName hook argument \(string concatenation\)`
+}
+
+// closureInHookArg: a func literal in a hook argument allocates its
+// closure even when the registry is nil.
+func closureInHookArg(cs *trace.Counters, v *int64) {
+	cs.Gauge("free_pages", func() float64 { return float64(*v) }) // want `allocation in Gauge hook argument \(closure literal\)`
+}
+
+// localFactInHookArg: describe's allocation is known only via the local
+// Allocates fact propagation.
+func localFactInHookArg(m *Machine, pid int32) {
+	m.Trace.TrackName(pid, describe(pid)) // want `allocation in TrackName hook argument \(call to allocating function describe\)`
+}
+
+// crossFactInHookArg: vmm.Label's allocation is visible only through the
+// Allocates fact imported from the vmm package.
+func crossFactInHookArg(m *Machine, region string) {
+	m.Trace.TrackName(2, vmm.Label(region)) // want `allocation in TrackName hook argument \(call to allocating function Label\)`
+}
+
+// structLiteralIsFine: a plain struct value literal does not allocate, so
+// the canonical Emit(Event{...}) hook shape stays silent.
+func structLiteralIsFine(m *Machine, pid int32) {
+	m.Trace.Emit(trace.Event{Kind: 2, PID: pid, Note: "fault"})
+}
+
+// cheapCalleeIsFine: vmm.RegionID carries no Allocates fact.
+func cheapCalleeIsFine(m *Machine, pid int32) {
+	m.Trace.Emit(trace.Event{Kind: 3, PID: vmm.RegionID(pid)})
+}
+
+// unguardedCountersDeref: selecting Counters on a possibly-nil Recorder
+// panics when tracing is off.
+func unguardedCountersDeref(m *Machine) {
+	m.Trace.Counters.Counter("faults").Inc() // want `m\.Trace\.Counters dereferences a possibly-nil Recorder`
+}
+
+// guardedCountersDeref is the sanctioned pattern: an explicit nil guard
+// proves the receiver, so the deref (and any allocation past it) is the
+// cost of tracing being on.
+func guardedCountersDeref(m *Machine, pid int32) {
+	if m.Trace == nil {
+		return
+	}
+	m.Trace.Counters.Counter("faults").Inc()
+	m.Trace.Emit(trace.Event{Kind: 4, PID: pid, Note: fmt.Sprintf("pid=%d", pid)})
+}
+
+// nilSafeAccessorIsFine: r.Counter(name) is the nil-safe path to a counter
+// handle, and Inc on the (possibly nil) handle is nil-safe too.
+func nilSafeAccessorIsFine(m *Machine) {
+	m.Trace.Counter("promotions").Inc()
+}
+
+// provenFreshRecorder: a recorder assigned from NewRecorder is live by
+// construction, so allocating arguments are the tracing cost, not a bug.
+func provenFreshRecorder(pid int32) *trace.Recorder {
+	r := trace.NewRecorder(trace.Config{Capacity: 8})
+	r.Emit(trace.Event{Kind: 5, PID: pid, Note: fmt.Sprintf("boot pid=%d", pid)})
+	r.Counters.Counter("boots").Inc()
+	return r
+}
+
+// provenByPropagation: cs is rooted at a nil-guarded path, so the closure
+// argument is fine.
+func provenByPropagation(m *Machine, v *int64) {
+	if m.Trace == nil {
+		return
+	}
+	cs := m.Trace.Counters
+	cs.Gauge("resident", func() float64 { return float64(*v) })
+}
+
+// suppressedClosure is an intentional off-path allocation with a reasoned
+// //lint:allow — the suppression must silence the diagnostic (asserted by
+// the absence of a want annotation).
+func suppressedClosure(cs *trace.Counters, v *int64) {
+	//lint:allow tracealloc test stand-in for a sanctioned startup-only gauge
+	cs.Gauge("startup_pages", func() float64 { return float64(*v) })
+}
+
+var (
+	_ = sprintfInHookArg
+	_ = concatInHookArg
+	_ = closureInHookArg
+	_ = localFactInHookArg
+	_ = crossFactInHookArg
+	_ = structLiteralIsFine
+	_ = cheapCalleeIsFine
+	_ = unguardedCountersDeref
+	_ = guardedCountersDeref
+	_ = nilSafeAccessorIsFine
+	_ = provenFreshRecorder
+	_ = provenByPropagation
+	_ = suppressedClosure
+)

@@ -1,0 +1,105 @@
+// Package trace impersonates hawkeye/internal/trace for the tracealloc
+// analysistest: the same nil-safe handle surface (Recorder, Counter,
+// Counters) with trivial bodies. The analyzer recognizes hook receivers by
+// package path and type name, so this stand-in exercises the same code
+// paths as the real recorder.
+package trace
+
+// Event is a stand-in trace event record.
+type Event struct {
+	Kind int
+	PID  int32
+	Note string
+}
+
+// Config is a stand-in recorder configuration.
+type Config struct {
+	Capacity int
+}
+
+// Counter is a nil-safe counter handle.
+type Counter struct {
+	v int64
+}
+
+// Add increments the counter by n; nil-safe.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc is Add(1).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Counters is the counter/gauge registry.
+type Counters struct {
+	byName map[string]*Counter
+}
+
+// NewCounters builds a registry.
+func NewCounters() *Counters {
+	return &Counters{byName: make(map[string]*Counter)}
+}
+
+// Counter returns the named counter handle; nil-safe.
+func (cs *Counters) Counter(name string) *Counter {
+	if cs == nil {
+		return nil
+	}
+	c := cs.byName[name]
+	if c == nil {
+		c = &Counter{}
+		cs.byName[name] = c
+	}
+	return c
+}
+
+// Gauge registers a sampled gauge; nil-safe.
+func (cs *Counters) Gauge(name string, fn func() float64) {
+	if cs == nil {
+		return
+	}
+	_ = fn
+}
+
+// Recorder is the nil-safe event recorder.
+type Recorder struct {
+	// Counters is never nil on a non-nil Recorder — but selecting it on a
+	// possibly-nil Recorder panics, which is exactly what the analyzer
+	// polices.
+	Counters *Counters
+
+	events []Event
+}
+
+// NewRecorder builds a live recorder.
+func NewRecorder(cfg Config) *Recorder {
+	return &Recorder{Counters: NewCounters(), events: make([]Event, 0, cfg.Capacity)}
+}
+
+// Counter returns the named counter handle, or nil when the Recorder is
+// nil — the handle itself is nil-safe.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.Counters.Counter(name)
+}
+
+// Emit records one event; nil-safe.
+func (r *Recorder) Emit(ev Event) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// TrackName labels a process track; nil-safe.
+func (r *Recorder) TrackName(pid int32, name string) {
+	if r == nil {
+		return
+	}
+	_ = name
+}

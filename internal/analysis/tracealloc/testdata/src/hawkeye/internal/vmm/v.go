@@ -1,0 +1,16 @@
+// Package vmm impersonates a lower simulator layer that exports helpers
+// consumed in trace hook arguments. Label allocates (non-constant string
+// concatenation), so the analyzer exports an Allocates fact for it — the
+// core testdata package then trips on that fact across the package
+// boundary without any locally visible allocation.
+package vmm
+
+// Label renders a region label. Allocates: non-constant string concat.
+func Label(region string) string {
+	return "region-" + region
+}
+
+// RegionID returns a plain integer; no allocation, no fact.
+func RegionID(n int32) int32 {
+	return n + 1
+}

@@ -1,0 +1,459 @@
+// Package tracealloc enforces the internal/trace disabled-cost contract
+// (DESIGN §8): hook sites hold possibly-nil *trace.Recorder / *trace.Counter
+// handles whose methods are nil-safe, so a machine with tracing off pays
+// exactly one branch per hook. Two things can silently break that:
+//
+//   - an argument expression that allocates. Arguments are evaluated before
+//     the callee's nil check, so a fmt.Sprintf, closure, string concat or
+//     interface boxing in an argument runs even when tracing is off —
+//     turning the "one branch" into an allocation on the simulator's hot
+//     path. The analyzer proves hook arguments allocation-free unless the
+//     receiver is locally proven non-nil (assigned from trace.NewRecorder,
+//     or nil-guarded in the enclosing function); whether a callee inside an
+//     argument allocates is propagated interprocedurally via the Allocates
+//     fact.
+//   - dereferencing past the nil-safe surface. Selecting the Counters field
+//     of a *trace.Recorder panics on a nil recorder; the analyzer requires
+//     the same local non-nil proof (the sanctioned pattern is the explicit
+//     `if k.Trace == nil || k.Trace.Counters == nil { return }` guard, or
+//     the nil-safe r.Counter(name) accessor).
+//
+// The trace package itself is exempt — it is the implementation of the
+// nil-safe surface.
+package tracealloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hawkeye/internal/analysis"
+)
+
+// Allocates marks a function that may allocate on every call (directly or
+// through a callee). Hook arguments must not call one when the hook's
+// receiver is possibly nil.
+type Allocates struct{}
+
+// AFact marks Allocates as a fact type.
+func (*Allocates) AFact() {}
+
+// Analyzer enforces the one-branch-when-off trace hook contract.
+var Analyzer = &analysis.Analyzer{
+	Name: "tracealloc",
+	Doc: "trace hook sites must cost one branch when tracing is off: no " +
+		"allocating expressions in hook arguments, no dereference past the " +
+		"nil-safe receiver surface",
+	FactTypes: []analysis.Fact{(*Allocates)(nil)},
+	Run:       run,
+}
+
+const (
+	tracePath  = "hawkeye/internal/trace"
+	modulePath = "hawkeye/"
+)
+
+// hookTypes are the nil-safe handle types whose methods are hook sites.
+var hookTypes = map[string]bool{
+	"Recorder": true, "Counter": true, "Counters": true,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !strings.HasPrefix(path, modulePath) || path == tracePath {
+		return nil
+	}
+	c := &checker{pass: pass}
+	c.collectFuncs()
+	c.propagateAllocates()
+	c.exportFacts()
+	for _, fd := range c.funcs {
+		c.checkBody(fd)
+	}
+	return nil
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	funcs     []*ast.FuncDecl
+	objOf     map[*ast.FuncDecl]*types.Func
+	allocates map[*types.Func]bool
+}
+
+func (c *checker) collectFuncs() {
+	c.objOf = map[*ast.FuncDecl]*types.Func{}
+	c.allocates = map[*types.Func]bool{}
+	for _, f := range c.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c.funcs = append(c.funcs, fd)
+			c.objOf[fd] = fn
+		}
+	}
+}
+
+func (c *checker) propagateAllocates() {
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range c.funcs {
+			fn := c.objOf[fd]
+			if c.allocates[fn] {
+				continue
+			}
+			if c.bodyAllocates(fd) {
+				c.allocates[fn] = true
+				changed = true
+			}
+		}
+	}
+}
+
+func (c *checker) exportFacts() {
+	for _, fd := range c.funcs {
+		if c.allocates[c.objOf[fd]] {
+			c.pass.ExportObjectFact(c.objOf[fd], &Allocates{})
+		}
+	}
+}
+
+// bodyAllocates reports whether fd's body contains an allocating operation
+// or a call to a function known to allocate.
+func (c *checker) bodyAllocates(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if why := c.allocReason(n); why != "" {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// calleeFunc resolves a call to the invoked *types.Func (nil for builtins,
+// conversions and dynamic calls).
+func (c *checker) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := c.pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := c.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func (c *checker) calleeAllocates(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	fn = fn.Origin()
+	if pkg := fn.Pkg(); pkg != nil {
+		switch {
+		case pkg.Path() == "fmt":
+			return true // every fmt entry point allocates (boxing at minimum)
+		case pkg.Path() == "strconv":
+			n := fn.Name()
+			return n == "Itoa" || strings.HasPrefix(n, "Format") ||
+				strings.HasPrefix(n, "Append") || strings.HasPrefix(n, "Quote")
+		case pkg.Path() == tracePath:
+			return false // the nil-safe surface itself is allocation-free when off
+		}
+	}
+	if c.allocates[fn] {
+		return true
+	}
+	return c.pass.ImportObjectFact(fn, &Allocates{})
+}
+
+// allocReason classifies a node as an allocating operation; "" means none.
+func (c *checker) allocReason(n ast.Node) string {
+	info := c.pass.TypesInfo
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		return "closure literal"
+	case *ast.CompositeLit:
+		t := info.Types[n].Type
+		if t == nil {
+			return "composite literal"
+		}
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Map:
+			return "slice/map literal"
+		}
+		return "" // struct/array value literal: no heap allocation by itself
+	case *ast.UnaryExpr:
+		if n.Op.String() == "&" {
+			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				return "heap-allocated composite literal"
+			}
+		}
+	case *ast.BinaryExpr:
+		if n.Op.String() == "+" {
+			tv, ok := info.Types[n]
+			if ok && tv.Value == nil {
+				if b, okB := tv.Type.Underlying().(*types.Basic); okB && b.Info()&types.IsString != 0 {
+					return "string concatenation"
+				}
+			}
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+			if _, okB := info.Uses[id].(*types.Builtin); okB {
+				switch id.Name {
+				case "make", "new", "append":
+					return id.Name + " allocates"
+				}
+				return ""
+			}
+		}
+		// Conversions that copy: string(b), []byte(s), []rune(s).
+		if tv, ok := info.Types[n.Fun]; ok && tv.IsType() && len(n.Args) == 1 {
+			dst := tv.Type.Underlying()
+			src := info.Types[n.Args[0]]
+			if src.Value != nil {
+				return "" // constant conversion, folded at compile time
+			}
+			if b, okB := dst.(*types.Basic); okB && b.Info()&types.IsString != 0 {
+				if sb, okS := src.Type.Underlying().(*types.Basic); !okS || sb.Info()&types.IsString == 0 {
+					return "string conversion"
+				}
+			}
+			if sl, okS := dst.(*types.Slice); okS {
+				if eb, okE := sl.Elem().Underlying().(*types.Basic); okE &&
+					(eb.Kind() == types.Byte || eb.Kind() == types.Rune || eb.Kind() == types.Uint8 || eb.Kind() == types.Int32) {
+					if sb, okSrc := src.Type.Underlying().(*types.Basic); okSrc && sb.Info()&types.IsString != 0 {
+						return "[]byte/[]rune conversion"
+					}
+				}
+			}
+			return ""
+		}
+		if c.calleeAllocates(c.calleeFunc(n)) {
+			name := "callee"
+			if fn := c.calleeFunc(n); fn != nil {
+				name = fn.Name()
+			}
+			return "call to allocating function " + name
+		}
+	}
+	return ""
+}
+
+// ---- hook-site checks ------------------------------------------------------
+
+// hookReceiverType reports whether t (after unwrapping pointers) is one of
+// the nil-safe trace handle types.
+func hookReceiverType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Origin().Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == tracePath && hookTypes[obj.Name()]
+}
+
+// flatPath renders a selector chain of plain identifiers/fields as a dotted
+// string ("k.Trace.Counters"); "" when the expression contains anything
+// else (calls, indexes). Used to match nil guards to dereferences.
+func flatPath(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := flatPath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// provenPaths computes, flow-insensitively, the set of selector paths the
+// function treats as proven non-nil: paths assigned from trace.NewRecorder,
+// paths compared against nil anywhere in the function (the author installed
+// a guard), and paths assigned from an expression rooted at a proven path
+// (cs := k.Trace.Counters). Flow-insensitivity is deliberate: a guard
+// anywhere in the function is taken as covering its uses, which keeps the
+// check simple and the false-positive rate at zero in this code base.
+func (c *checker) provenPaths(fd *ast.FuncDecl) map[string]bool {
+	proven := map[string]bool{}
+	info := c.pass.TypesInfo
+
+	isNewRecorder := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn := c.calleeFunc(call)
+		return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == tracePath &&
+			(fn.Name() == "NewRecorder" || fn.Name() == "NewCounters")
+	}
+	isNil := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		return ok && tv.IsNil()
+	}
+
+	// Seed pass: NewRecorder assignments and nil comparisons.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if p := flatPath(lhs); p != "" && isNewRecorder(n.Rhs[i]) {
+					proven[p] = true
+				}
+			}
+		case *ast.BinaryExpr:
+			op := n.Op.String()
+			if op == "==" || op == "!=" {
+				if p := flatPath(n.X); p != "" && isNil(n.Y) {
+					proven[p] = true
+				}
+				if p := flatPath(n.Y); p != "" && isNil(n.X) {
+					proven[p] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Propagation: lhs := <expr rooted at a proven path>.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				lp := flatPath(lhs)
+				if lp == "" || proven[lp] {
+					continue
+				}
+				rp := rootedPath(as.Rhs[i])
+				if rp != "" && hasProvenPrefix(proven, rp) {
+					proven[lp] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return proven
+}
+
+// rootedPath is flatPath extended to see through a trailing nil-safe method
+// call: for `k.Trace.Counter("x")` it returns "k.Trace". A plain selector
+// chain returns as-is.
+func rootedPath(e ast.Expr) string {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if sel, okS := ast.Unparen(call.Fun).(*ast.SelectorExpr); okS {
+			return flatPath(sel.X)
+		}
+		return ""
+	}
+	return flatPath(e)
+}
+
+func hasProvenPrefix(proven map[string]bool, path string) bool {
+	for p := path; p != ""; {
+		if proven[p] {
+			return true
+		}
+		i := strings.LastIndexByte(p, '.')
+		if i < 0 {
+			return false
+		}
+		p = p[:i]
+	}
+	return false
+}
+
+func (c *checker) checkBody(fd *ast.FuncDecl) {
+	info := c.pass.TypesInfo
+	proven := c.provenPaths(fd)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			// Dereference past the nil-safe surface: r.Counters on a
+			// possibly-nil *Recorder.
+			if n.Sel.Name != "Counters" {
+				return true
+			}
+			t := info.Types[n.X].Type
+			if t == nil || !hookReceiverType(t) {
+				return true
+			}
+			if p, ok := t.(*types.Pointer); !ok || p == nil {
+				return true // value receiver cannot be nil
+			}
+			path := flatPath(n.X)
+			if path != "" && (hasProvenPrefix(proven, path) || proven[path+".Counters"]) {
+				return true
+			}
+			c.pass.Reportf(n.Pos(), "%s.Counters dereferences a possibly-nil Recorder: guard with `if %s == nil` or use the nil-safe Counter(name) accessor", exprString(n.X), exprString(n.X))
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || !hookReceiverType(sig.Recv().Type()) {
+				return true
+			}
+			// Receiver proven non-nil: tracing is on at this site, the
+			// arguments may allocate (that cost is the tracing cost).
+			if p := rootedPath(n.Fun); p != "" && hasProvenPrefix(proven, p) {
+				return true
+			}
+			for _, arg := range n.Args {
+				c.checkHookArg(fn.Name(), arg)
+			}
+		}
+		return true
+	})
+}
+
+// checkHookArg flags allocating operations inside one hook argument.
+func (c *checker) checkHookArg(hook string, arg ast.Expr) {
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if why := c.allocReason(n); why != "" {
+			c.pass.Reportf(n.Pos(), "allocation in %s hook argument (%s): hook arguments are evaluated even when tracing is off — hoist behind an explicit nil check", hook, why)
+			return false
+		}
+		return true
+	})
+}
+
+func exprString(e ast.Expr) string {
+	if p := flatPath(e); p != "" {
+		return p
+	}
+	return "recorder"
+}

@@ -1,0 +1,17 @@
+package tracealloc_test
+
+import (
+	"testing"
+
+	"hawkeye/internal/analysis/analysistest"
+	"hawkeye/internal/analysis/tracealloc"
+)
+
+// TestTracealloc analyzes the core testdata package; the driver loads vmm
+// first as a facts-only dependency, so the vmm.Label diagnostics in core
+// are visible only through the imported Allocates fact.
+func TestTracealloc(t *testing.T) {
+	analysistest.Run(t, "testdata", tracealloc.Analyzer,
+		"hawkeye/internal/core",
+	)
+}
