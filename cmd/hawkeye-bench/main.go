@@ -28,6 +28,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -45,6 +46,7 @@ import (
 	"hawkeye/internal/sim"
 	"hawkeye/internal/snapshot"
 	htrace "hawkeye/internal/trace"
+	"hawkeye/internal/workload"
 )
 
 // sweepFlags carries the raw -sweep-* flag values into runSweep.
@@ -58,8 +60,11 @@ type sweepFlags struct {
 
 // runSweep parses, validates and executes a sweep grid, printing rows as
 // CSV (to stderr when -json - owns stdout) and optionally the JSON report.
-// Returns the process exit code: 1 if any cell failed, else 0.
-func runSweep(sf sweepFlags, opts experiments.Options, parallel int, jsonOut string) int {
+// Unless quiet, a progress line (cells done/total, rate, ETA) ticks on
+// stderr while the grid runs — stdout carries only the CSV, so redirected
+// output still diffs clean. Returns the process exit code: 1 if any cell
+// failed, else 0.
+func runSweep(sf sweepFlags, opts experiments.Options, parallel int, jsonOut string, quiet bool) int {
 	spec := experiments.SweepSpec{
 		Workload: sf.workload,
 		Policies: splitList(sf.policies),
@@ -79,14 +84,46 @@ func runSweep(sf sweepFlags, opts experiments.Options, parallel int, jsonOut str
 		return 2
 	}
 
-	rep := runner.RunSweep(spec, opts, parallel)
+	var progress func(done, total int)
+	if !quiet {
+		start := time.Now()
+		var lastLine time.Time
+		progress = func(done, total int) {
+			now := time.Now()
+			// Rate-limit redraws; the final cell always prints so the line
+			// ends complete.
+			if done < total && now.Sub(lastLine) < 500*time.Millisecond {
+				return
+			}
+			lastLine = now
+			elapsed := now.Sub(start).Seconds()
+			rate := 0.0
+			if elapsed > 0 {
+				rate = float64(done) / elapsed
+			}
+			eta := "-"
+			if rate > 0 {
+				eta = (time.Duration(float64(total-done)/rate*float64(time.Second))).Round(time.Second).String()
+			}
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d cells (%.1f cells/s, ETA %s)   ", done, total, rate, eta)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	rep := runner.RunSweepProgress(spec, opts, parallel, progress)
 
 	csvTo := io.Writer(os.Stdout)
 	if jsonOut == "-" {
 		csvTo = os.Stderr
 	}
 	failed := 0
-	if err := rep.WriteCSV(csvTo); err != nil {
+	bw := bufio.NewWriter(csvTo)
+	if err := rep.WriteCSV(bw); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep csv:", err)
+		failed++
+	}
+	if err := bw.Flush(); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep csv:", err)
 		failed++
 	}
@@ -133,6 +170,9 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 0, "sample vmstat counters every this many simulated seconds into per-machine CSVs (needs -trace-events)")
 	noSnapCache := flag.Bool("no-snapshot-cache", false, "build and fragment every machine from scratch instead of forking cached warm-up snapshots, and make any remaining cache forks deep copies (output is byte-identical either way)")
 	snapCacheBytes := flag.Int64("snapshot-cache-bytes", 0, "cap the warm-up snapshot cache's resident bytes, evicting least-recently-forked images (0 = unlimited)")
+	noTraceCache := flag.Bool("no-trace-cache", false, "sample every steady phase live instead of replaying the process-wide recorded access trace (output is byte-identical either way)")
+	traceCacheBytes := flag.Int64("trace-cache-bytes", 0, "cap the access-trace cache's resident bytes, evicting least-recently-attached traces (0 = unlimited)")
+	quiet := flag.Bool("quiet", false, "suppress the sweep progress line on stderr")
 	sweep := flag.Bool("sweep", false, "run a (policy x threshold x seed) sweep grid instead of experiment IDs; rows print as CSV (schema hawkeye-sweep/v1 with -json)")
 	sweepWorkload := flag.String("sweep-workload", "graph500", "workload every sweep cell runs")
 	sweepPolicies := flag.String("sweep-policies", "linux,ingens,hawkeye-pmu", "comma-separated policies to sweep")
@@ -150,6 +190,9 @@ func main() {
 	if *snapCacheBytes > 0 {
 		snapshot.SetCacheBudget(*snapCacheBytes)
 	}
+	if *traceCacheBytes > 0 {
+		workload.SetTraceCacheBudget(*traceCacheBytes)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -157,15 +200,35 @@ func main() {
 		}
 		return
 	}
+	// CPU profiling starts before the sweep branch so -cpuprofile covers
+	// -sweep runs too; the sweep path stops it explicitly because os.Exit
+	// skips the deferred stop.
+	stopCPU := func() {}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		stopCPU = func() { pprof.StopCPUProfile(); f.Close() }
+	}
+	defer stopCPU()
+
 	if *sweep {
-		os.Exit(runSweep(sweepFlags{
+		code := runSweep(sweepFlags{
 			workload:   *sweepWorkload,
 			policies:   *sweepPolicies,
 			thresholds: *sweepThresholds,
 			seeds:      *sweepSeeds,
 			keep:       *sweepKeep,
-		}, experiments.Options{Scale: *scale, Seed: *seed, Quick: *quick, NoSnapshotCache: *noSnapCache},
-			*parallel, *jsonOut))
+		}, experiments.Options{Scale: *scale, Seed: *seed, Quick: *quick, NoSnapshotCache: *noSnapCache, NoTraceCache: *noTraceCache},
+			*parallel, *jsonOut, *quiet)
+		stopCPU()
+		os.Exit(code)
 	}
 	args := flag.Args()
 	if len(args) == 0 {
@@ -177,7 +240,7 @@ func main() {
 	if len(args) == 1 && args[0] == "all" {
 		ids = experiments.IDs()
 	}
-	opts := experiments.Options{Scale: *scale, Seed: *seed, Quick: *quick, NoSnapshotCache: *noSnapCache}
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Quick: *quick, NoSnapshotCache: *noSnapCache, NoTraceCache: *noTraceCache}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "trace-events:", err)
@@ -188,19 +251,6 @@ func main() {
 		}
 	}
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
-	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {

@@ -134,6 +134,11 @@ type Sim struct {
 	K     *kernel.Kernel
 	Scale float64
 
+	// cfg and keep echo the machine's construction parameters so AddWorkload
+	// can key its access trace into the process-wide trace cache.
+	cfg  kernel.Config
+	keep float64
+
 	instances []*RunningWorkload
 }
 
@@ -169,13 +174,26 @@ func NewSim(o Options) *Sim {
 	if scale <= 0 {
 		scale = DefaultScale
 	}
-	return &Sim{K: k, Scale: scale}
+	return &Sim{K: k, Scale: scale, cfg: cfg, keep: o.FragmentKeep}
 }
 
 // AddWorkload spawns a catalog workload (see workload.Catalog) on the
-// machine and returns its handle.
+// machine and returns its handle. Workloads with a sampler-driven steady
+// state replay their access stream from the process-wide trace cache
+// (captured on first use; see internal/workload's Trace) — byte-identical to
+// live sampling, with the trace_replay_hits / trace_cache_bytes /
+// trace_cache_evict counters surfacing in vmstat when tracing is on.
 func (s *Sim) AddWorkload(name string) *RunningWorkload {
 	inst := workload.NewByName(name, s.Scale)
+	if inst.Sampler != nil && !s.cfg.ScalarPath {
+		inst.AttachReplay(workload.TraceKey{
+			Cfg:       s.cfg,
+			Keep:      s.keep,
+			Pinned:    kernel.DefaultPinnedChunkFrac,
+			Geom:      inst.Sampler.Geometry(),
+			ProcIndex: len(s.K.Procs()),
+		}, s.K.Trace)
+	}
 	p := s.K.Spawn(name, inst.Program)
 	rw := &RunningWorkload{Inst: inst, Proc: p}
 	s.instances = append(s.instances, rw)

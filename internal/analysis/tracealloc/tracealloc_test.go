@@ -15,3 +15,13 @@ func TestTracealloc(t *testing.T) {
 		"hawkeye/internal/core",
 	)
 }
+
+// TestTraceallocReplayHooks analyzes the workload testdata package — the
+// trace-cache attach shapes of PR 8: counter handles bound once per machine
+// and ticked from the replay hot loop, per-attach formatted names and
+// unguarded registry derefs flagged.
+func TestTraceallocReplayHooks(t *testing.T) {
+	analysistest.Run(t, "testdata", tracealloc.Analyzer,
+		"hawkeye/internal/workload",
+	)
+}

@@ -57,6 +57,14 @@ type Options struct {
 	// escape hatch for timing the uncached path and for A/B-ing the cache
 	// itself (hawkeye-bench -no-snapshot-cache).
 	NoSnapshotCache bool
+	// NoTraceCache disables access-trace record/replay: every steady phase
+	// samples its stream live instead of replaying the process-wide recorded
+	// trace. Output is byte-identical either way — replay serves the exact
+	// run sequence live sampling would produce and asserts the RNG stream
+	// stays in lockstep (TestSweepReplayMatchesLive holds the whole sweep
+	// pipeline to that contract) — so, like NoSnapshotCache, this is an
+	// escape hatch for timing and A/B-ing (hawkeye-bench -no-trace-cache).
+	NoTraceCache bool
 }
 
 // Metrics aggregates simulation counters across every machine an experiment
@@ -367,6 +375,27 @@ type runResult struct {
 // and collects results. fragmentKeep > 0 pre-fragments the machine.
 func runConcurrent(o Options, pol kernel.Policy, insts []*workload.Instance, names []string, fragmentKeep float64, deadline sim.Time) ([]runResult, *kernel.Kernel, error) {
 	k := newKernelFragmented(o, pol, fragmentKeep, kernel.DefaultPinnedChunkFrac)
+	if !o.Scalar && !o.NoTraceCache {
+		// Swap each instance's steady phase onto the shared recorded trace.
+		// The key pins everything its stream depends on: the machine
+		// configuration (seed, quantum sampling), the fragmentation warm-up
+		// (it advances the engine RNG the process streams fork from), the
+		// sampler geometry, and the spawn index. AttachReplay declines —
+		// leaving the instance on live sampling — for program shapes whose
+		// RNG consumption it cannot vouch for.
+		for i, inst := range insts {
+			if inst.Sampler == nil {
+				continue
+			}
+			inst.AttachReplay(workload.TraceKey{
+				Cfg:       o.kernelConfig(),
+				Keep:      fragmentKeep,
+				Pinned:    kernel.DefaultPinnedChunkFrac,
+				Geom:      inst.Sampler.Geometry(),
+				ProcIndex: i,
+			}, k.Trace)
+		}
+	}
 	procs := make([]*kernel.Proc, len(insts))
 	for i, inst := range insts {
 		procs[i] = k.Spawn(names[i], inst.Program)

@@ -185,6 +185,9 @@ func (k *Kernel) steadyRunBatched(p *Proc, dur sim.Time, s RunSampler) (SteadyRe
 	prof := s.Profile()
 	var walkTotal sim.Cycles
 	var faultCost sim.Time
+	if p.runBuf == nil {
+		p.runBuf = getRunBuf()
+	}
 	p.runBuf = s.SampleRun(p.rng, p.runBuf[:0], samples)
 	for i := range p.runBuf {
 		r, err := k.TouchRun(p, p.runBuf[i], &prof)

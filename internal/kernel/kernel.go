@@ -8,6 +8,7 @@ package kernel
 
 import (
 	"fmt"
+	"sync"
 
 	"hawkeye/internal/content"
 	"hawkeye/internal/fault"
@@ -421,6 +422,43 @@ func (k *Kernel) RunUntilDone(deadline sim.Time) error {
 		return fmt.Errorf("kernel: deadline %v reached with %d programs running", deadline, left)
 	}
 	return nil
+}
+
+// runBufPool recycles the per-process quantum trace buffers across machine
+// teardowns: every sweep cell's processes draw into a buffer of the same
+// SamplesPerQuantum-determined size, so a released buffer is exactly what
+// the next cell needs. Pointers to slices (not slices) move through the
+// pool so a Put never boxes a fresh allocation.
+var runBufPool sync.Pool
+
+// getRunBuf returns a recycled run buffer (possibly nil: the first SampleRun
+// sizes it via append, and from then on it is reused in place).
+func getRunBuf() []AccessRun {
+	if b, ok := runBufPool.Get().(*[]AccessRun); ok {
+		return (*b)[:0]
+	}
+	return nil
+}
+
+// Release retires a torn-down machine: per-process scratch buffers go back
+// to the process-wide run-buffer pool and every chunked COW substrate table
+// recycles its privately owned chunks into its family pool (see
+// cow.Table.Release). The machine is unusable afterwards — no tool may read
+// it again, including trace gauges — so callers only release machines whose
+// results have been fully extracted and whose recorder is detached. The
+// experiment harness calls this per sweep cell, where the per-cell chunk
+// churn would otherwise dominate allocation.
+func (k *Kernel) Release() {
+	for _, p := range k.procs {
+		if p.runBuf != nil {
+			b := p.runBuf[:0]
+			runBufPool.Put(&b)
+			p.runBuf = nil
+		}
+	}
+	k.Alloc.Release()
+	k.Content.Release()
+	k.VMM.Release()
 }
 
 // UsedFraction reports allocated/total memory.

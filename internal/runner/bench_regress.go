@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"hawkeye/internal/content"
@@ -25,6 +26,7 @@ import (
 	"hawkeye/internal/tlb"
 	"hawkeye/internal/trace"
 	"hawkeye/internal/vmm"
+	"hawkeye/internal/workload"
 )
 
 // BaselineSchema identifies the baseline file format.
@@ -45,6 +47,11 @@ type Baseline struct {
 	// BenchmarksNs maps tier-0 benchmark names to ns/op on the reference
 	// machine.
 	BenchmarksNs map[string]float64 `json:"benchmarks_ns"`
+	// BenchmarksAllocs maps alloc-gated benchmark names to steady-state heap
+	// allocations per op on the reference machine. Unlike ns/op, allocs/op
+	// needs no CPU normalization — the allocation count of a deterministic
+	// op is a property of the code, not the machine.
+	BenchmarksAllocs map[string]float64 `json:"benchmarks_allocs,omitempty"`
 }
 
 // LoadBaseline reads a baseline file.
@@ -85,6 +92,17 @@ type Tier0Bench struct {
 	// single-shot full-experiment benches need more slack than the
 	// tightly-looped micro-benchmarks.
 	Tolerance float64
+	// GateAllocs adds the benchmark's steady-state allocs/op to the baseline
+	// and fails the gate when the measured value exceeds the recorded one
+	// (with a small absolute slack for GC-cleared pools).
+	GateAllocs bool
+	// MaxAllocs, when > 0, is a hard cap on steady-state allocs/op, enforced
+	// against the live measurement independent of the baseline — the zero-
+	// alloc contract of the replay path.
+	MaxAllocs float64
+	// AllocIters overrides Iters for the allocation measurement (the full-
+	// cell benches are too slow to run Iters times twice more).
+	AllocIters int
 	// Setup builds the benchmark state and returns the op to time. The op
 	// must do the same amount of work on every call.
 	Setup func() func()
@@ -109,6 +127,13 @@ func Tier0Benchmarks() []Tier0Bench {
 		// slower than the same code in a fresh process.
 		{Name: "table3_quick", Iters: 1, Reps: 2, Tolerance: 0.30, Setup: setupExperiment("table3")},
 		{Name: "fig5_quick", Iters: 1, Reps: 2, Tolerance: 0.30, Setup: setupExperiment("fig5")},
+		// sweep_cell is the sweep fan-out unit of work end to end: fork the
+		// warm machine from the snapshot cache, replay the access stream from
+		// the trace cache, run the policy, release the machine's chunks back
+		// to the pools. sweep_cell_steady isolates the replayed steady
+		// quantum, whose zero-alloc contract the MaxAllocs cap enforces.
+		{Name: "sweep_cell", Iters: 10, Reps: 2, Tolerance: 0.30, GateAllocs: true, AllocIters: 4, Setup: setupSweepCell},
+		{Name: "sweep_cell_steady", Iters: 20_000, Reps: 3, GateAllocs: true, MaxAllocs: 2, AllocIters: 2_000, Setup: setupSweepCellSteady},
 	}
 }
 
@@ -126,6 +151,30 @@ func timedSection(f func()) time.Duration {
 		}
 	}
 	return time.Since(wall0)
+}
+
+// MeasureAllocs reports the benchmark's steady-state heap allocations per
+// op: one warm-up block lets pools, caches and growable buffers reach their
+// steady state, then a second block runs under the runtime's cumulative
+// Mallocs counter. GC pauses do not perturb the count (Mallocs is
+// monotonic), though a collection can clear sync.Pools mid-block and charge
+// their refill — gates carry a small absolute slack for that.
+func (t Tier0Bench) MeasureAllocs() float64 {
+	op := t.Setup()
+	iters := t.AllocIters
+	if iters <= 0 {
+		iters = t.Iters
+	}
+	for i := 0; i < iters; i++ {
+		op()
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < iters; i++ {
+		op()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(iters)
 }
 
 // Measure times the benchmark and reports best-of-reps ns/op.
@@ -306,6 +355,73 @@ func setupSnapshotForkCOW() func() {
 // forkSink keeps the forked machines observable so the Fork call cannot be
 // optimized away.
 var forkSink *kernel.Kernel
+
+// setupSweepCell runs one full sweep grid cell per op: snapshot-cache fork,
+// trace-cache replay, policy execution, chunk release. The warm-up call
+// Measure performs populates both process-wide caches, so the timed ops see
+// the steady state a mid-sweep cell sees.
+func setupSweepCell() func() {
+	spec := experiments.SweepSpec{
+		Workload:   "graph500",
+		Policies:   []string{"hawkeye-pmu"},
+		Thresholds: []float64{0.6},
+		Seeds:      1,
+		FragKeep:   0.15,
+	}
+	opts := experiments.Options{Scale: 0.02, Seed: 1, Quick: true}
+	cell := spec.Cells(opts.Seed)[0]
+	return func() {
+		rowSink = experiments.RunSweepCell(opts, spec, cell)
+		if rowSink.Error != "" {
+			panic("sweep_cell: " + rowSink.Error)
+		}
+	}
+}
+
+// rowSink keeps the cell results observable so RunSweepCell cannot be
+// optimized away.
+var rowSink experiments.SweepRow
+
+// setupSweepCellSteady isolates one replayed steady quantum: mappings
+// settled, trace captured, each op rewinds the replay cursor, jumps the
+// process RNG to the stream start and runs a full quantum served entirely
+// from the record. This is the path the MaxAllocs cap holds to (near) zero
+// allocation: runs decode from the trace arena into the pooled run buffer
+// and no RNG or sampler work happens at all.
+func setupSweepCellSteady() func() {
+	cfg := kernel.DefaultConfig()
+	cfg.MemoryBytes = 256 << 20
+	k := kernel.New(cfg, nil)
+	p := k.Spawn("bench", nil)
+	const pages = 4 * mem.HugePages
+	for v := vmm.VPN(0); v < pages; v++ {
+		if _, err := k.Touch(p, v, true); err != nil {
+			panic(err)
+		}
+	}
+	geom := workload.Geometry{
+		Pages:     pages,
+		Kind:      workload.Hotspot,
+		HotFrac:   0.15,
+		HotProb:   0.90,
+		WriteFrac: 0.2,
+		Prof:      kernel.AccessProfile{Locality: 0.8, CyclesPerAccess: 820},
+	}
+	rs := workload.NewReplaySampler(workload.NewTrace(geom), nil)
+	if _, err := k.SteadyRun(p, cfg.Quantum, rs); err != nil {
+		panic(err) // captures the quantum every op replays
+	}
+	return func() {
+		start, ok := rs.Rewind()
+		if !ok {
+			panic("sweep_cell_steady: empty trace")
+		}
+		p.Rand().SetState(start)
+		if _, err := k.SteadyRun(p, cfg.Quantum, rs); err != nil {
+			panic(err)
+		}
+	}
+}
 
 // setupExperiment runs one full quick experiment per op (end-to-end: event
 // engine, faults, policies, TLB model, table rendering).

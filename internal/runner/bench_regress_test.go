@@ -81,6 +81,22 @@ func TestBenchRegression(t *testing.T) {
 			t.Errorf("%s regressed: normalized ratio %.3f exceeds 1+%.2f (measured %.1f ns/op, baseline %.1f ns/op)",
 				res.Name, res.Ratio, tol, res.MeasuredNs, res.BaselineNs)
 		}
+		if bench.GateAllocs {
+			allocs := bench.MeasureAllocs()
+			// Slack: +25% and +2 absolute — allocation counts are mostly
+			// deterministic, but a GC can clear sync.Pools mid-measurement
+			// and charge their refill to the ops.
+			if baseAllocs, ok := base.BenchmarksAllocs[bench.Name]; !ok {
+				t.Errorf("%s: allocs not in baseline — refresh with BENCH_REGRESS=update", bench.Name)
+			} else if allocs > baseAllocs*1.25+2 {
+				t.Errorf("%s allocation regression: %.2f allocs/op, baseline %.2f", bench.Name, allocs, baseAllocs)
+			} else {
+				t.Logf("%-14s %12.2f allocs/op (baseline %.2f)", bench.Name, allocs, baseAllocs)
+			}
+			if bench.MaxAllocs > 0 && allocs > bench.MaxAllocs {
+				t.Errorf("%s exceeds its hard allocation cap: %.2f allocs/op > %.0f", bench.Name, allocs, bench.MaxAllocs)
+			}
+		}
 	}
 }
 
@@ -91,14 +107,21 @@ func updateBaseline(t *testing.T) {
 		t.Fatal("refusing to update BENCH_baseline.json under -race: race instrumentation inflates every measurement, which would poison the baseline for uninstrumented runs — rerun without -race")
 	}
 	b := &Baseline{
-		Schema:        BaselineSchema,
-		Note:          "Tier-0 hot-path baseline. Refresh after intentional perf changes: BENCH_REGRESS=update go test ./internal/runner -run TestBenchRegression",
-		CalibrationNs: Calibrate(),
-		BenchmarksNs:  map[string]float64{},
+		Schema:           BaselineSchema,
+		Note:             "Tier-0 hot-path baseline. Refresh after intentional perf changes: BENCH_REGRESS=update go test ./internal/runner -run TestBenchRegression",
+		CalibrationNs:    Calibrate(),
+		BenchmarksNs:     map[string]float64{},
+		BenchmarksAllocs: map[string]float64{},
 	}
 	for _, bench := range Tier0Benchmarks() {
 		ns := bench.Measure()
 		b.BenchmarksNs[bench.Name] = ns
+		if bench.GateAllocs {
+			allocs := bench.MeasureAllocs()
+			b.BenchmarksAllocs[bench.Name] = allocs
+			t.Logf("%-14s %12.1f ns/op  %8.2f allocs/op", bench.Name, ns, allocs)
+			continue
+		}
 		t.Logf("%-14s %12.1f ns/op", bench.Name, ns)
 	}
 	abs, _ := filepath.Abs(baselinePath)
@@ -116,6 +139,10 @@ func BenchmarkTier0TouchRunTraced(b *testing.B) { runTier0(b, "touch_run_traced"
 func BenchmarkTier0TLBAccess(b *testing.B)      { runTier0(b, "tlb_access") }
 func BenchmarkTier0TLBAccessRun(b *testing.B)   { runTier0(b, "tlb_access_run") }
 func BenchmarkTier0AccessScan(b *testing.B)     { runTier0(b, "access_scan") }
+func BenchmarkTier0SweepCell(b *testing.B)      { runTier0(b, "sweep_cell") }
+func BenchmarkTier0SweepCellSteady(b *testing.B) {
+	runTier0(b, "sweep_cell_steady")
+}
 
 func runTier0(b *testing.B, name string) {
 	for _, bench := range Tier0Benchmarks() {

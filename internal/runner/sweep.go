@@ -38,6 +38,15 @@ type SweepReport struct {
 // sweep with the same options. Cell failures surface as rows with Error set
 // rather than aborting the grid.
 func RunSweep(spec experiments.SweepSpec, opts experiments.Options, workers int) *SweepReport {
+	return RunSweepProgress(spec, opts, workers, nil)
+}
+
+// RunSweepProgress is RunSweep with a completion callback: after each cell
+// finishes, progress (if non-nil) is called with the number of cells done so
+// far and the grid total. Calls are serialized but arrive from worker
+// goroutines, in completion order — not grid order — so the callback is for
+// liveness reporting (the CLI's stderr progress line), never for output.
+func RunSweepProgress(spec experiments.SweepSpec, opts experiments.Options, workers int, progress func(done, total int)) *SweepReport {
 	opts = opts.WithDefaults()
 	cells := spec.Cells(opts.Seed)
 	if workers < 1 {
@@ -52,6 +61,8 @@ func RunSweep(spec experiments.SweepSpec, opts experiments.Options, workers int)
 	rows := make([]experiments.SweepRow, len(cells))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
+	var pmu sync.Mutex
+	done := 0
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -59,6 +70,12 @@ func RunSweep(spec experiments.SweepSpec, opts experiments.Options, workers int)
 			defer wg.Done()
 			for i := range jobs {
 				rows[i] = experiments.RunSweepCell(opts, spec, cells[i])
+				if progress != nil {
+					pmu.Lock()
+					done++
+					progress(done, len(cells))
+					pmu.Unlock()
+				}
 			}
 		}()
 	}

@@ -249,3 +249,13 @@ func (r *Rand) Clone() *Rand {
 	c := *r
 	return &c
 }
+
+// State returns the generator's raw stream position. Two generators with
+// equal states produce identical future draws; comparing states is how the
+// trace replay layer asserts that a consumer is exactly where the recorded
+// stream expects it to be.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState jumps the generator to a previously captured State. Replay uses
+// this to advance a consumer past a recorded span without re-drawing it.
+func (r *Rand) SetState(s [4]uint64) { r.s = s }

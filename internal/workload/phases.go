@@ -110,9 +110,15 @@ func (pp *Populate) run(k *kernel.Kernel, p *kernel.Proc, budget sim.Time) (sim.
 type Steady struct {
 	Work    float64
 	Sampler *Sampler
+	// Source, when non-nil, drives the steady state instead of Sampler — the
+	// hook trace replay uses to substitute a ReplaySampler over the same
+	// stream. Sampler stays set alongside it: it documents the stream's
+	// geometry and anchors AttachReplay's shape check.
+	Source kernel.AccessSampler
 
-	startWork float64
-	started   bool
+	startWork  float64
+	started    bool
+	seriesName string
 }
 
 func (st *Steady) reset() { st.started = false }
@@ -122,11 +128,18 @@ func (st *Steady) run(k *kernel.Kernel, p *kernel.Proc, budget sim.Time) (sim.Ti
 		st.started = true
 		st.startWork = p.WorkDone
 	}
-	res, err := k.SteadyRun(p, budget, st.Sampler)
+	src := kernel.AccessSampler(st.Sampler)
+	if st.Source != nil {
+		src = st.Source
+	}
+	res, err := k.SteadyRun(p, budget, src)
 	if err != nil {
 		return res.Consumed, false, err
 	}
-	k.Rec.Record("mmu/"+p.Name(), res.MMUOverhead)
+	if st.seriesName == "" {
+		st.seriesName = "mmu/" + p.Name()
+	}
+	k.Rec.Record(st.seriesName, res.MMUOverhead)
 	return res.Consumed, p.WorkDone-st.startWork >= st.Work, nil
 }
 
