@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"hawkeye/internal/experiments"
+	"hawkeye/internal/introspect"
 	"hawkeye/internal/runner"
 	"hawkeye/internal/sim"
 	"hawkeye/internal/snapshot"
@@ -112,6 +113,12 @@ func runSweep(sf sweepFlags, opts experiments.Options, parallel int, jsonOut str
 		}
 	}
 	rep := runner.RunSweepProgress(spec, opts, parallel, progress)
+	if !quiet && rep.CellLatency.Count > 0 {
+		lat := rep.CellLatency
+		ms := func(ns float64) float64 { return ns / 1e6 }
+		fmt.Fprintf(os.Stderr, "sweep: cell wall latency p50=%.1fms p90=%.1fms p99=%.1fms mean=%.1fms (%d cells)\n",
+			ms(lat.P50Ns), ms(lat.P90Ns), ms(lat.P99Ns), ms(lat.MeanNs), lat.Count)
+	}
 
 	csvTo := io.Writer(os.Stdout)
 	if jsonOut == "-" {
@@ -172,7 +179,8 @@ func main() {
 	snapCacheBytes := flag.Int64("snapshot-cache-bytes", 0, "cap the warm-up snapshot cache's resident bytes, evicting least-recently-forked images (0 = unlimited)")
 	noTraceCache := flag.Bool("no-trace-cache", false, "sample every steady phase live instead of replaying the process-wide recorded access trace (output is byte-identical either way)")
 	traceCacheBytes := flag.Int64("trace-cache-bytes", 0, "cap the access-trace cache's resident bytes, evicting least-recently-attached traces (0 = unlimited)")
-	quiet := flag.Bool("quiet", false, "suppress the sweep progress line on stderr")
+	quiet := flag.Bool("quiet", false, "suppress the sweep progress line and latency summary on stderr")
+	debugAddr := flag.String("debug-addr", "", "serve live introspection endpoints (/metrics, /progress, /events, /debug/pprof) on this address while running (e.g. 127.0.0.1:6060; empty = off)")
 	sweep := flag.Bool("sweep", false, "run a (policy x threshold x seed) sweep grid instead of experiment IDs; rows print as CSV (schema hawkeye-sweep/v1 with -json)")
 	sweepWorkload := flag.String("sweep-workload", "graph500", "workload every sweep cell runs")
 	sweepPolicies := flag.String("sweep-policies", "linux,ingens,hawkeye-pmu", "comma-separated policies to sweep")
@@ -199,6 +207,19 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+	// The debug server is pure observability: scraping it mid-run never
+	// changes a simulated byte (CI's introspect-smoke step byte-compares a
+	// scraped sweep against an unscraped one). It stays up for the whole
+	// process; the listener dies with the process on the os.Exit paths.
+	if *debugAddr != "" {
+		srv, err := introspect.Serve(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s\n", srv.Addr())
 	}
 	// CPU profiling starts before the sweep branch so -cpuprofile covers
 	// -sweep runs too; the sweep path stops it explicitly because os.Exit

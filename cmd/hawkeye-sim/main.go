@@ -35,6 +35,7 @@ func main() {
 	vmstat := flag.String("vmstat", "", "write a vmstat-style counter snapshot to this file after the run")
 	traceChrome := flag.String("trace-chrome", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
 	traceSample := flag.Float64("trace-sample", 0, "sample all vmstat counters into recorder series every this many simulated seconds (0 = off)")
+	debugAddr := flag.String("debug-addr", "", "serve live introspection endpoints (/metrics, /progress, /events, /debug/pprof) on this address while running (empty = off)")
 	list := flag.Bool("list", false, "list policies and workloads, then exit")
 	flag.Parse()
 
@@ -42,6 +43,16 @@ func main() {
 		fmt.Println("policies: ", strings.Join(hawkeye.PolicyNames(), ", "))
 		fmt.Println("workloads:", strings.Join(hawkeye.Workloads(), ", "))
 		return
+	}
+
+	if *debugAddr != "" {
+		srv, err := hawkeye.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s\n", srv.Addr())
 	}
 
 	var traceCfg *hawkeye.TraceConfig

@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"hawkeye/internal/core"
+	"hawkeye/internal/introspect"
 	"hawkeye/internal/kernel"
 	"hawkeye/internal/mem"
 	"hawkeye/internal/policy"
@@ -125,6 +126,16 @@ type Options struct {
 // TraceConfig configures the tracing subsystem (see internal/trace).
 type TraceConfig = trace.Config
 
+// DebugServer is the live-introspection HTTP server (see
+// internal/introspect): /metrics, /debug/vars, /progress, /events,
+// /debug/pprof and /healthz over the process-wide registry.
+type DebugServer = introspect.Server
+
+// ServeDebug starts the debug server on addr (e.g. "127.0.0.1:6060";
+// ":0" picks a free port, readable from the returned server's Addr). It is
+// pure observability — scraping it never changes a simulated byte.
+func ServeDebug(addr string) (*DebugServer, error) { return introspect.Serve(addr) }
+
 // DefaultScale is the footprint scale matching the default 8 GiB machine.
 const DefaultScale = 1.0 / 12
 
@@ -167,6 +178,9 @@ func NewSim(o Options) *Sim {
 	cfg.SwapBytes = o.SwapBytes
 	cfg.Trace = o.Trace
 	k := kernel.New(cfg, pol)
+	// Register with the live-introspection registry before anything runs
+	// (no-op unless tracing is on; scraped only while a debug server is up).
+	introspect.AttachMachine(o.Policy, k.Trace)
 	if o.FragmentKeep > 0 {
 		k.FragmentMemory(o.FragmentKeep)
 	}

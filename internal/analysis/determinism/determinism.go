@@ -44,9 +44,19 @@ func covered(pkgPath string) bool {
 	return simulationPackages[seg]
 }
 
-func isRunner(pkgPath string) bool {
-	return pkgPath == internalPrefix+"runner" ||
-		strings.HasPrefix(pkgPath, internalPrefix+"runner/")
+// concurrencySanctioned reports whether pkgPath is allowed to start
+// goroutines: internal/runner (the parallel experiment pool) and
+// internal/introspect (the live debug server, whose HTTP handlers run on
+// net/http's goroutines and are pull-only by contract — they never write
+// simulation state).
+func concurrencySanctioned(pkgPath string) bool {
+	for _, p := range [...]string{"runner", "introspect"} {
+		if pkgPath == internalPrefix+p ||
+			strings.HasPrefix(pkgPath, internalPrefix+p+"/") {
+			return true
+		}
+	}
+	return false
 }
 
 // wallClockFuncs are the time package functions that read the machine's
@@ -68,7 +78,7 @@ var randConstructors = map[string]bool{
 func run(pass *analysis.Pass) error {
 	path := pass.Pkg.Path()
 	inSim := covered(path)
-	checkGoroutines := strings.HasPrefix(path, internalPrefix) && !isRunner(path)
+	checkGoroutines := strings.HasPrefix(path, internalPrefix) && !concurrencySanctioned(path)
 	if !inSim && !checkGoroutines {
 		return nil
 	}
@@ -77,7 +87,7 @@ func run(pass *analysis.Pass) error {
 			switch n := n.(type) {
 			case *ast.GoStmt:
 				if checkGoroutines {
-					pass.Reportf(n.Pos(), "goroutine outside internal/runner: concurrency in the simulation breaks serial/parallel byte-identity (move the fan-out into internal/runner)")
+					pass.Reportf(n.Pos(), "goroutine outside internal/runner: concurrency in the simulation breaks serial/parallel byte-identity (move the fan-out into internal/runner, or observability serving into internal/introspect)")
 				}
 			case *ast.SelectorExpr:
 				if inSim {

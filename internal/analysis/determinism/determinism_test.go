@@ -12,5 +12,6 @@ func TestDeterminism(t *testing.T) {
 		"hawkeye/internal/kernel",
 		"hawkeye/internal/mem/cow",
 		"hawkeye/internal/runner",
+		"hawkeye/internal/introspect",
 	)
 }

@@ -1,0 +1,17 @@
+// Package introspect impersonates internal/introspect: the live debug
+// server is, with the runner, a sanctioned home for goroutines — its HTTP
+// handlers run on background goroutines and only ever pull state.
+package introspect
+
+import "time"
+
+func serve(conns chan int) {
+	go func() { // ok: the debug server accepts scrapes on its own goroutine
+		for range conns {
+		}
+	}()
+}
+
+func heartbeat() *time.Ticker {
+	return time.NewTicker(15 * time.Second) // ok: SSE keepalives are wall-clock
+}

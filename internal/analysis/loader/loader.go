@@ -135,6 +135,13 @@ func (l *Loader) resolveDir(path string) (string, error) {
 	if hasGoFiles(d) {
 		return d, nil
 	}
+	// Standard-library packages import a few paths vendored into GOROOT
+	// (net → golang.org/x/net/dns/dnsmessage, crypto → golang.org/x/crypto/
+	// ...); resolve those from the stdlib vendor tree, as the go tool does.
+	d = filepath.Join(l.ctxt.GOROOT, "src", "vendor", filepath.FromSlash(path))
+	if hasGoFiles(d) {
+		return d, nil
+	}
 	return "", fmt.Errorf("loader: cannot resolve import %q", path)
 }
 

@@ -1,0 +1,40 @@
+// Package snapshot impersonates the unified cache-attach helper of the
+// introspection PR: both process-wide caches stamp their per-machine
+// counters through one shared shape that concatenates the metric name from
+// a cache prefix. The concatenation allocates, so the sanctioned form
+// hoists it behind an explicit nil guard (the proven-live path — the cost
+// of tracing being on); writing the same concat against a possibly-nil
+// recorder must be flagged.
+package snapshot
+
+import "hawkeye/internal/trace"
+
+// countCacheAttach is the sanctioned shared hook shape: the explicit guard
+// proves the receiver live before any argument is built, so the name
+// concatenation never runs with tracing off.
+func countCacheAttach(rec *trace.Recorder, prefix string, bytes, evicted int64) {
+	if rec == nil {
+		return
+	}
+	rec.Counter(prefix + "_bytes").Add(bytes)
+	rec.Counter(prefix + "_evict").Add(evicted)
+}
+
+// countCacheAttachUnguarded is the tempting wrong shape: without the guard
+// the concatenated names allocate on every call, traced or not.
+func countCacheAttachUnguarded(rec *trace.Recorder, prefix string, bytes, evicted int64) {
+	rec.Counter(prefix + "_bytes").Add(bytes)   // want `allocation in Counter hook argument \(string concatenation\)`
+	rec.Counter(prefix + "_evict").Add(evicted) // want `allocation in Counter hook argument \(string concatenation\)`
+}
+
+// forkStamp is the call-site shape internal/snapshot's Fork uses: a proven
+// helper call with plain arguments costs the callee's one branch.
+func forkStamp(rec *trace.Recorder, bytes, evicted int64) {
+	countCacheAttach(rec, "snapshot_cache", bytes, evicted)
+}
+
+var (
+	_ = countCacheAttach
+	_ = countCacheAttachUnguarded
+	_ = forkStamp
+)

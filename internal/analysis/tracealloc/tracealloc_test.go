@@ -25,3 +25,13 @@ func TestTraceallocReplayHooks(t *testing.T) {
 		"hawkeye/internal/workload",
 	)
 }
+
+// TestTraceallocCacheAttachHooks analyzes the snapshot testdata package —
+// the unified cache-attach helper of the introspection PR: a nil-guarded
+// helper concatenating metric names from a cache prefix is sanctioned, the
+// same concatenation against a possibly-nil recorder is flagged.
+func TestTraceallocCacheAttachHooks(t *testing.T) {
+	analysistest.Run(t, "testdata", tracealloc.Analyzer,
+		"hawkeye/internal/snapshot",
+	)
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 
+	"hawkeye/internal/introspect"
 	"hawkeye/internal/kernel"
 	"hawkeye/internal/mem"
 	"hawkeye/internal/policy"
@@ -173,12 +174,21 @@ func (t *TraceSet) Entries() []TraceEntry {
 }
 
 // observe registers a kernel's engine with the run's Metrics and its trace
-// recorder with the run's TraceSet, if either is present.
+// recorder with the run's TraceSet, if either is present, and attaches the
+// machine to the process-wide introspect registry (a no-op when tracing is
+// off: there is no recorder to scrape). Every experiment calls it exactly
+// once per machine, at construction — before the machine runs, which the
+// flight-recorder attach requires.
 func (o Options) observe(k *kernel.Kernel) {
 	if o.Metrics != nil {
 		o.Metrics.observe(k.Engine)
 	}
 	o.Traces.observe(k)
+	label := "machine"
+	if k.Policy != nil {
+		label = k.Policy.Name()
+	}
+	introspect.AttachMachine(label, k.Trace)
 }
 
 // WithDefaults returns the options with unset fields resolved to the

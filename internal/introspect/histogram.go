@@ -1,0 +1,133 @@
+package introspect
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log2 latency buckets: bucket i holds
+// observations with nanosecond duration in [2^i, 2^(i+1)), bucket 0 also
+// takes <1ns, bucket 63 takes everything above ~292 years. 64 buckets cover
+// every int64 duration, so Observe never range-checks.
+const histBuckets = 64
+
+// Histogram is a fixed-shape log2 latency histogram. Observe is lock-free
+// (two atomic adds on independent words) and allocation-free, so the runner
+// can time every sweep cell without perturbing the run. Quantile estimates
+// interpolate within the matched power-of-two bucket — coarse (≤ ~2x error
+// at worst, far less with interpolation), which is exactly enough for a
+// progress readout, and in exchange the write path stays off the simulation
+// budget.
+type Histogram struct {
+	name    string
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // total nanoseconds
+}
+
+// Name returns the histogram's registered name ("" on a nil handle).
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// bucketOf maps a nanosecond count to its log2 bucket.
+func bucketOf(ns int64) int {
+	if ns < 1 {
+		return 0
+	}
+	return 63 - bits.LeadingZeros64(uint64(ns))
+}
+
+// Observe records one duration. Nil-safe.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's state. Sub yields
+// deltas, Quantile estimates order statistics — both on plain data, so a
+// scrape can compute p50/p90/p99 without holding anything locked.
+type HistSnapshot struct {
+	Name    string
+	Count   int64
+	SumNs   int64
+	Buckets [histBuckets]int64
+}
+
+// Snapshot copies the current counts. The buckets are read individually
+// (not under a lock), so a snapshot taken during writes may be off by the
+// in-flight observation — fine for monitoring, and the final post-run
+// snapshot is exact.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{Name: h.name, Count: h.count.Load(), SumNs: h.sum.Load()}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Sub returns the delta s - prev (observations between two snapshots).
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	d := HistSnapshot{Name: s.Name, Count: s.Count - prev.Count, SumNs: s.SumNs - prev.SumNs}
+	for i := range s.Buckets {
+		d.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+	}
+	return d
+}
+
+// Quantile estimates the q-th (0..1) order statistic in nanoseconds,
+// interpolating linearly within the matched bucket. Returns 0 for an empty
+// snapshot.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var seen float64
+	for i, n := range s.Buckets {
+		if n <= 0 {
+			continue
+		}
+		if seen+float64(n) >= rank {
+			lo := math.Exp2(float64(i))
+			if i == 0 {
+				lo = 0
+			}
+			hi := math.Exp2(float64(i + 1))
+			frac := (rank - seen) / float64(n)
+			return lo + frac*(hi-lo)
+		}
+		seen += float64(n)
+	}
+	return math.Exp2(histBuckets) // unreachable with consistent counts
+}
+
+// MeanNs returns the mean observation in nanoseconds (0 when empty).
+func (s HistSnapshot) MeanNs() float64 {
+	if s.Count <= 0 {
+		return 0
+	}
+	return float64(s.SumNs) / float64(s.Count)
+}

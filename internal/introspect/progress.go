@@ -1,0 +1,100 @@
+package introspect
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Progress is one sweep-progress update, published by the runner each time a
+// cell finishes and streamed to /progress subscribers as SSE data frames.
+// ElapsedSeconds is wall time since the sweep started — it exists only on
+// the observability side and never feeds back into the simulation.
+type Progress struct {
+	Done           int     `json:"done"`
+	Total          int     `json:"total"`
+	Workers        int     `json:"workers"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	CellsPerSecond float64 `json:"cells_per_second"`
+	EtaSeconds     float64 `json:"eta_seconds"`
+}
+
+// hub fans Progress updates out to SSE subscribers. Publish never blocks the
+// runner: each subscriber holds a 1-slot latest-value channel and a slow
+// reader simply coalesces updates (progress is a state, not a log — only the
+// newest value matters).
+type hub struct {
+	mu   sync.Mutex
+	subs map[chan Progress]struct{}
+	last Progress
+	seen bool
+}
+
+// publish hands the update to every subscriber, dropping stale queued values
+// so the channel always holds the freshest state.
+func (h *hub) publish(p Progress) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.last, h.seen = p, true
+	for ch := range h.subs {
+		select {
+		case ch <- p:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- p:
+			default:
+			}
+		}
+	}
+}
+
+// subscribe registers a listener; the returned channel immediately replays
+// the last published value (a subscriber joining mid-sweep sees state at
+// once rather than on the next cell).
+func (h *hub) subscribe() (ch chan Progress, cancel func()) {
+	ch = make(chan Progress, 1)
+	h.mu.Lock()
+	if h.subs == nil {
+		h.subs = make(map[chan Progress]struct{})
+	}
+	h.subs[ch] = struct{}{}
+	if h.seen {
+		ch <- h.last
+	}
+	h.mu.Unlock()
+	return ch, func() {
+		h.mu.Lock()
+		delete(h.subs, ch)
+		h.mu.Unlock()
+	}
+}
+
+// lastProgress returns the most recent update and whether one was published.
+func (h *hub) lastProgress() (Progress, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.last, h.seen
+}
+
+// PublishProgress publishes a sweep-progress update on a registry. When the
+// registry is not armed (no debug server running) this is one atomic load —
+// the shape the introspect_off bench gate holds to zero allocations.
+func (r *Registry) PublishProgress(p Progress) {
+	if !r.armed.Load() {
+		return
+	}
+	r.hub.publish(p)
+}
+
+// PublishProgress publishes on the default registry.
+func PublishProgress(p Progress) { std.PublishProgress(p) }
+
+// marshalProgress renders one SSE data payload. Field order is fixed by the
+// struct, so frames are deterministic for a given state.
+func marshalProgress(p Progress) []byte {
+	b, _ := json.Marshal(p)
+	return b
+}

@@ -1,0 +1,224 @@
+package introspect
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"hawkeye/internal/trace"
+)
+
+// Server is the HTTP debug server of one registry. It is deliberately
+// pull-only: every endpoint reads registry state that the simulation updates
+// through atomics or its own locks, so a scrape — however aggressive — can
+// slow a run down but never change what it computes.
+//
+//	/healthz          liveness probe ("ok")
+//	/metrics          OpenMetrics/Prometheus text exposition
+//	/debug/vars       expvar-style JSON of the same metrics
+//	/progress         Server-Sent Events stream of sweep progress
+//	/events           flight-recorder JSON: recent trace events per machine
+//	/debug/pprof/*    standard Go profiling endpoints
+//
+// Starting the server arms the registry (flight-recorder rings and SSE
+// publishing switch on); Close disarms it, returning every push hook to its
+// one-atomic-load disabled cost.
+type Server struct {
+	reg  *Registry
+	ln   net.Listener
+	http *http.Server
+}
+
+// Serve starts a debug server for the registry on addr (e.g. "127.0.0.1:0";
+// the chosen port is readable from Addr). The listener is bound before
+// returning, so a caller can scrape immediately; request handling runs on
+// background goroutines owned by net/http.
+func (r *Registry) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("introspect: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", r.handleMetrics)
+	mux.HandleFunc("/debug/vars", r.handleVars)
+	mux.HandleFunc("/progress", r.handleProgress)
+	mux.HandleFunc("/events", r.handleEvents)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{reg: r, ln: ln, http: &http.Server{Handler: mux}}
+	r.armed.Store(true)
+	go s.http.Serve(ln) //nolint — Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Serve starts a debug server for the default registry.
+func Serve(addr string) (*Server, error) { return std.Serve(addr) }
+
+// Addr returns the server's bound address (host:port).
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close disarms the registry and stops the server. Safe on nil.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.reg.armed.Store(false)
+	return s.http.Close()
+}
+
+// formatValue renders a metric value: counters as exact integers, everything
+// else in the shortest float form — matching WriteVmstat's conventions so
+// scraped and exported numbers compare textually.
+func formatValue(t MetricType, v float64) string {
+	if t == TypeCounter && v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeMetrics renders the OpenMetrics exposition into b. Split out of the
+// handler so tests can scrape without HTTP.
+func (r *Registry) writeMetrics(b *strings.Builder) {
+	for _, m := range r.Snapshot() {
+		fmt.Fprintf(b, "# TYPE %s %s\n", m.Name, m.Type)
+		fmt.Fprintf(b, "%s %s\n", m.Name, formatValue(m.Type, m.Value))
+	}
+	for _, h := range r.Histograms() {
+		s := h.Snapshot()
+		name := h.Name()
+		fmt.Fprintf(b, "# TYPE %s_count counter\n%s_count %d\n", name, name, s.Count)
+		fmt.Fprintf(b, "# TYPE %s_sum_ns counter\n%s_sum_ns %d\n", name, name, s.SumNs)
+		for _, q := range [...]struct {
+			label string
+			q     float64
+		}{{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}} {
+			fmt.Fprintf(b, "# TYPE %s_%s_ns gauge\n%s_%s_ns %s\n",
+				name, q.label, name, q.label,
+				strconv.FormatFloat(s.Quantile(q.q), 'g', -1, 64))
+		}
+	}
+	b.WriteString("# EOF\n")
+}
+
+func (r *Registry) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	r.writeMetrics(&b)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}
+
+// handleVars serves the same state as /metrics in expvar-style JSON (sorted
+// keys — encoding/json marshals maps in key order, so output is
+// deterministic for a fixed state).
+func (r *Registry) handleVars(w http.ResponseWriter, _ *http.Request) {
+	metrics := make(map[string]float64)
+	for _, m := range r.Snapshot() {
+		metrics[m.Name] = m.Value
+	}
+	hists := make(map[string]map[string]float64)
+	for _, h := range r.Histograms() {
+		s := h.Snapshot()
+		hists[h.Name()] = map[string]float64{
+			"count":  float64(s.Count),
+			"sum_ns": float64(s.SumNs),
+			"p50_ns": s.Quantile(0.50),
+			"p90_ns": s.Quantile(0.90),
+			"p99_ns": s.Quantile(0.99),
+		}
+	}
+	writeJSON(w, map[string]any{"metrics": metrics, "histograms": hists, "armed": r.Armed()})
+}
+
+// handleProgress streams sweep progress as Server-Sent Events: one
+// `data: {json}` frame per published update, the latest state replayed on
+// connect. The stream ends when the client disconnects.
+func (r *Registry) handleProgress(w http.ResponseWriter, req *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ch, cancel := r.hub.subscribe()
+	defer cancel()
+	// Heartbeat comments keep intermediaries from timing the stream out
+	// between cells of a slow sweep.
+	tick := time.NewTicker(15 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-req.Context().Done():
+			return
+		case <-tick.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		case p := <-ch:
+			fmt.Fprintf(w, "data: %s\n\n", marshalProgress(p))
+			fl.Flush()
+		}
+	}
+}
+
+// handleEvents serves the flight-recorder rings: for each attached machine,
+// its label, total events recorded since arming, and the retained ring in
+// chronological order using the trace JSONL wire schema.
+func (r *Registry) handleEvents(w http.ResponseWriter, _ *http.Request) {
+	machines := r.Machines()
+	var b strings.Builder
+	b.WriteString(`{"machines":[`)
+	for i, m := range machines {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		evs, err := trace.MarshalEvents(m.Events)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		label, _ := jsonString(m.Label)
+		fmt.Fprintf(&b, `{"label":%s,"total":%d,"events":%s}`, label, m.Total, evs)
+	}
+	b.WriteString("]}\n")
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprint(w, b.String())
+}
+
+// writeJSON writes v as an indented JSON document.
+func writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+	w.Write([]byte("\n"))
+}
+
+// jsonString quotes s as a JSON string literal.
+func jsonString(s string) (string, error) {
+	b, err := json.Marshal(s)
+	return string(b), err
+}

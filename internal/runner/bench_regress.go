@@ -20,6 +20,7 @@ import (
 
 	"hawkeye/internal/content"
 	"hawkeye/internal/experiments"
+	"hawkeye/internal/introspect"
 	"hawkeye/internal/kernel"
 	"hawkeye/internal/mem"
 	"hawkeye/internal/sim"
@@ -134,6 +135,11 @@ func Tier0Benchmarks() []Tier0Bench {
 		// quantum, whose zero-alloc contract the MaxAllocs cap enforces.
 		{Name: "sweep_cell", Iters: 10, Reps: 2, Tolerance: 0.30, GateAllocs: true, AllocIters: 4, Setup: setupSweepCell},
 		{Name: "sweep_cell_steady", Iters: 20_000, Reps: 3, GateAllocs: true, MaxAllocs: 2, AllocIters: 2_000, Setup: setupSweepCellSteady},
+		// introspect_off is the disabled-instrumentation floor: the hooks the
+		// sweep worker body runs per cell, with no debug server armed. The
+		// sub-1 MaxAllocs cap holds the contract that idle observability is
+		// allocation-free.
+		{Name: "introspect_off", Iters: 2_000_000, Reps: 3, GateAllocs: true, MaxAllocs: 0.5, Setup: setupIntrospectOff},
 	}
 }
 
@@ -420,6 +426,26 @@ func setupSweepCellSteady() func() {
 		if _, err := k.SteadyRun(p, cfg.Quantum, rs); err != nil {
 			panic(err)
 		}
+	}
+}
+
+// setupIntrospectOff exercises exactly the instrumentation the sweep worker
+// body pays per cell — counter increment, latency histogram observe, progress
+// publish — against an unarmed registry (no debug server). Dedicated bench
+// instruments keep the real sweep metrics untouched. The whole op must stay
+// at a few uncontended atomics: publishSweepProgress short-circuits on one
+// atomic load before any rate/ETA arithmetic, and neither the counter nor
+// the histogram touches the heap.
+func setupIntrospectOff() func() {
+	c := introspect.GetCounter("bench_introspect_off")
+	h := introspect.GetHistogram("bench_introspect_off_wall")
+	start := time.Now()
+	var i int
+	return func() {
+		c.Inc()
+		h.Observe(time.Duration(i&1023+1) * time.Microsecond)
+		publishSweepProgress(i&1023, 1024, 4, start)
+		i++
 	}
 }
 

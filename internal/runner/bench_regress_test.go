@@ -143,6 +143,7 @@ func BenchmarkTier0SweepCell(b *testing.B)      { runTier0(b, "sweep_cell") }
 func BenchmarkTier0SweepCellSteady(b *testing.B) {
 	runTier0(b, "sweep_cell_steady")
 }
+func BenchmarkTier0IntrospectOff(b *testing.B) { runTier0(b, "introspect_off") }
 
 func runTier0(b *testing.B, name string) {
 	for _, bench := range Tier0Benchmarks() {

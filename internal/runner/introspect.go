@@ -1,0 +1,84 @@
+package runner
+
+// Live instrumentation of the worker pools, feeding the introspect registry
+// (the hawkeye-bench/-sim debug server). Everything here is observability
+// state about the harness — cells done, workers busy, wall latency — never
+// simulation state, so it cannot perturb results; the counters are atomics
+// and the histogram is lock-free, so the per-cell cost is a handful of
+// uncontended atomic adds against cells that run for milliseconds.
+
+import (
+	"sync/atomic"
+	"time"
+
+	"hawkeye/internal/introspect"
+)
+
+var (
+	// sweepCellsDone counts finished sweep cells process-wide (rows with
+	// Error set included: the cell ran, it just failed).
+	sweepCellsDone = introspect.GetCounter("sweep_cells_done")
+	// sweepCellLatency is the wall-clock latency histogram of sweep cells —
+	// the source of both /metrics' p50/p90/p99 gauges and the CLI's final
+	// stderr latency summary.
+	sweepCellLatency = introspect.GetHistogram("sweep_cell_wall")
+	// experimentsDone counts finished experiment runs (hawkeye-bench's
+	// non-sweep mode), with their wall latency in experimentLatency.
+	experimentsDone   = introspect.GetCounter("experiments_done")
+	experimentLatency = introspect.GetHistogram("experiment_wall")
+
+	// Pool gauges: current grid size, workers executing a cell right now,
+	// and cells not yet picked up. Plain atomics published as pull gauges.
+	sweepCellsTotal  atomic.Int64
+	sweepWorkersBusy atomic.Int64
+	sweepQueueDepth  atomic.Int64
+)
+
+func init() {
+	introspect.RegisterGauge("sweep_cells_total", func() float64 { return float64(sweepCellsTotal.Load()) })
+	introspect.RegisterGauge("sweep_workers_busy", func() float64 { return float64(sweepWorkersBusy.Load()) })
+	introspect.RegisterGauge("sweep_queue_depth", func() float64 { return float64(sweepQueueDepth.Load()) })
+}
+
+// LatencySummary is the per-cell wall-latency digest of one sweep, computed
+// from the delta of the process-wide histogram across the run. It is
+// harness telemetry, not simulation output: excluded from the JSON report
+// (json:"-" at the embedding site) so replayed and live sweeps still
+// byte-compare, and printed only on stderr.
+type LatencySummary struct {
+	Count  int64
+	MeanNs float64
+	P50Ns  float64
+	P90Ns  float64
+	P99Ns  float64
+}
+
+// summarize digests the histogram delta since start.
+func summarize(start introspect.HistSnapshot) LatencySummary {
+	d := sweepCellLatency.Snapshot().Sub(start)
+	return LatencySummary{
+		Count:  d.Count,
+		MeanNs: d.MeanNs(),
+		P50Ns:  d.Quantile(0.50),
+		P90Ns:  d.Quantile(0.90),
+		P99Ns:  d.Quantile(0.99),
+	}
+}
+
+// publishSweepProgress pushes one SSE progress frame. Cheap when no debug
+// server runs (one atomic load inside PublishProgress short-circuits), and
+// the rate/ETA arithmetic only happens under an armed server.
+func publishSweepProgress(done, total, workers int, start time.Time) {
+	if !introspect.Armed() {
+		return
+	}
+	elapsed := time.Since(start).Seconds()
+	p := introspect.Progress{Done: done, Total: total, Workers: workers, ElapsedSeconds: elapsed}
+	if elapsed > 0 {
+		p.CellsPerSecond = float64(done) / elapsed
+		if p.CellsPerSecond > 0 {
+			p.EtaSeconds = float64(total-done) / p.CellsPerSecond
+		}
+	}
+	introspect.PublishProgress(p)
+}

@@ -102,6 +102,8 @@ func runOne(id string, opts experiments.Options) Result {
 	start := time.Now()
 	tab, err := experiments.Run(id, opts)
 	wall := time.Since(start).Seconds()
+	experimentLatency.Observe(time.Since(start))
+	experimentsDone.Inc()
 	var msAfter runtime.MemStats
 	runtime.ReadMemStats(&msAfter)
 

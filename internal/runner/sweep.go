@@ -29,6 +29,12 @@ type SweepReport struct {
 	GOMAXPROCS       int                    `json:"gomaxprocs"`
 	TotalWallSeconds float64                `json:"total_wall_seconds"`
 	Rows             []experiments.SweepRow `json:"rows"`
+
+	// CellLatency digests per-cell wall latency for the CLI's stderr
+	// summary. Host-timing, like TotalWallSeconds — but excluded from the
+	// JSON document entirely so replayed and live sweep reports stay
+	// byte-comparable.
+	CellLatency LatencySummary `json:"-"`
 }
 
 // RunSweep executes every cell of the sweep grid on a pool of workers
@@ -64,18 +70,28 @@ func RunSweepProgress(spec experiments.SweepSpec, opts experiments.Options, work
 	var pmu sync.Mutex
 	done := 0
 	start := time.Now()
+	latStart := sweepCellLatency.Snapshot()
+	sweepCellsTotal.Store(int64(len(cells)))
+	sweepQueueDepth.Store(int64(len(cells)))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				sweepQueueDepth.Add(-1)
+				sweepWorkersBusy.Add(1)
+				cellStart := time.Now()
 				rows[i] = experiments.RunSweepCell(opts, spec, cells[i])
+				sweepCellLatency.Observe(time.Since(cellStart))
+				sweepWorkersBusy.Add(-1)
+				sweepCellsDone.Inc()
+				pmu.Lock()
+				done++
+				publishSweepProgress(done, len(cells), workers, start)
 				if progress != nil {
-					pmu.Lock()
-					done++
 					progress(done, len(cells))
-					pmu.Unlock()
 				}
+				pmu.Unlock()
 			}
 		}()
 	}
@@ -95,6 +111,7 @@ func RunSweepProgress(spec experiments.SweepSpec, opts experiments.Options, work
 		GOMAXPROCS:       runtime.GOMAXPROCS(0),
 		TotalWallSeconds: time.Since(start).Seconds(),
 		Rows:             rows,
+		CellLatency:      summarize(latStart),
 	}
 }
 

@@ -24,8 +24,24 @@ package snapshot
 import (
 	"sync"
 
+	"hawkeye/internal/introspect"
 	"hawkeye/internal/kernel"
 )
+
+// The cache's process-wide size is observable live: snapshot_cache_entries,
+// snapshot_cache_bytes and snapshot_cache_evict on the introspect registry
+// (the debug server's /metrics). Stats is mutex-guarded, so the scrape-time
+// pull is safe while workers fork.
+func init() {
+	introspect.RegisterCache("snapshot_cache", func() introspect.CacheStats {
+		s := Stats()
+		return introspect.CacheStats{
+			Entries:       s.Entries,
+			ResidentBytes: s.ResidentBytes,
+			Evictions:     s.Evictions,
+		}
+	})
+}
 
 // Key identifies one warm-up: the full machine configuration (with the
 // non-comparable Engine/Trace pointers normalized to nil) plus the
@@ -224,8 +240,7 @@ func Fork(cfg kernel.Config, pol kernel.Policy, keep, pinned float64) *kernel.Ke
 	} else {
 		k = snap.Fork(pol, tr)
 	}
-	k.Trace.Counter("snapshot_cache_bytes").Add(snap.Bytes())
-	k.Trace.Counter("snapshot_cache_evict").Add(evicted)
+	introspect.CountCacheAttach(k.Trace, "snapshot_cache", snap.Bytes(), evicted)
 	return k
 }
 

@@ -4,16 +4,20 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"hawkeye/internal/sim"
 )
 
 // Counter is a named monotonic counter. Hook sites hold *Counter handles
 // that are nil when tracing is disabled; all methods are nil-safe, so the
-// disabled cost is a single branch.
+// disabled cost is a single branch. Increments and reads are atomic so the
+// process-wide introspection registry can scrape a live machine's counters
+// from another goroutine (the enabled cost is one uncontended atomic add).
 type Counter struct {
 	name string
-	v    int64
+	v    atomic.Int64
 }
 
 // Name returns the counter's registered name ("" on a nil handle).
@@ -29,7 +33,7 @@ func (c *Counter) Add(n int64) {
 	if c == nil {
 		return
 	}
-	c.v += n
+	c.v.Add(n)
 }
 
 // Inc increments the counter by one.
@@ -40,7 +44,7 @@ func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
 // gauge is a named pull callback sampled at snapshot time.
@@ -52,8 +56,16 @@ type gauge struct {
 // Counters is a machine's vmstat-style registry: monotonic counters pushed
 // from hook sites plus pull gauges read at snapshot time. Snapshots walk
 // registration order, never map order, so output is deterministic.
+//
+// Concurrency: registration and snapshot walks are mutex-guarded and counter
+// values are atomic, so CounterSamples may be called from a scrape goroutine
+// while the machine runs. Gauges are excluded from that guarantee — their
+// callbacks read live simulation state and are only safe once the machine is
+// quiescent (Snapshot/WriteVmstat are post-run exports).
 type Counters struct {
-	clock    *sim.Clock
+	clock *sim.Clock
+
+	mu       sync.Mutex
 	counters []*Counter
 	gauges   []gauge
 	byName   map[string]*Counter
@@ -70,6 +82,8 @@ func (cs *Counters) Counter(name string) *Counter {
 	if cs == nil {
 		return nil
 	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	if c, ok := cs.byName[name]; ok {
 		return c
 	}
@@ -85,6 +99,8 @@ func (cs *Counters) Gauge(name string, fn func() float64) {
 	if cs == nil {
 		return
 	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	for _, g := range cs.gauges {
 		if g.name == name {
 			panic(fmt.Sprintf("trace: gauge %q registered twice", name))
@@ -104,12 +120,32 @@ func (cs *Counters) Snapshot() []Sample {
 	if cs == nil {
 		return nil
 	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	out := make([]Sample, 0, len(cs.counters)+len(cs.gauges))
 	for _, c := range cs.counters {
-		out = append(out, Sample{Name: c.name, Value: float64(c.v)})
+		out = append(out, Sample{Name: c.name, Value: float64(c.v.Load())})
 	}
 	for _, g := range cs.gauges {
 		out = append(out, Sample{Name: g.name, Value: g.fn()})
+	}
+	return out
+}
+
+// CounterSamples reads just the pushed counters, in registration order. This
+// is the scrape-safe subset of Snapshot: counter values are atomic and the
+// registration list is locked, so it may run concurrently with the simulation
+// that owns the registry. Gauge callbacks (which read live machine state) are
+// deliberately excluded.
+func (cs *Counters) CounterSamples() []Sample {
+	if cs == nil {
+		return nil
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	out := make([]Sample, 0, len(cs.counters))
+	for _, c := range cs.counters {
+		out = append(out, Sample{Name: c.name, Value: float64(c.v.Load())})
 	}
 	return out
 }
@@ -122,11 +158,13 @@ func (cs *Counters) WriteVmstat(w io.Writer) error {
 	if cs == nil {
 		return nil
 	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	if _, err := fmt.Fprintf(w, "sim_time_us %d\n", int64(cs.clock.Now())); err != nil {
 		return err
 	}
 	for _, c := range cs.counters {
-		if _, err := fmt.Fprintf(w, "%s %d\n", c.name, c.v); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n", c.name, c.v.Load()); err != nil {
 			return err
 		}
 	}

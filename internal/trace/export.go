@@ -58,6 +58,28 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 	return nil
 }
 
+// MarshalEvents renders events as a JSON array using the same wire schema as
+// WriteJSONL (one fixed-field object per event) — the debug server's /events
+// endpoint serves flight-ring snapshots through this, so live and post-run
+// views of an event are byte-compatible.
+func MarshalEvents(evs []Event) ([]byte, error) {
+	out := make([]jsonEvent, len(evs))
+	for i, ev := range evs {
+		out[i] = jsonEvent{
+			T:      int64(ev.T),
+			Kind:   ev.Kind.String(),
+			Origin: ev.Origin.String(),
+			PID:    ev.PID,
+			Region: ev.Region,
+			Huge:   ev.Huge,
+			N:      ev.N,
+			Cost:   int64(ev.Cost),
+			Aux:    ev.Aux,
+		}
+	}
+	return json.Marshal(out)
+}
+
 // WriteVmstat writes the counter registry as a vmstat-style text snapshot.
 func (r *Recorder) WriteVmstat(w io.Writer) error {
 	if r == nil {

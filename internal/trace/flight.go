@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Flight is a bounded, concurrency-safe ring of the most recent trace events
+// of one machine — the "what just happened" flight recorder behind the debug
+// server's /events endpoint. It is distinct from the Recorder's own ring on
+// purpose: the Recorder ring is single-goroutine simulation state exported
+// after a run, while the Flight ring is read mid-run by HTTP scrape
+// goroutines, so its writes are mutex-guarded and gated on an arming switch.
+//
+// Cost contract: Record is one atomic load (the arming switch) when the
+// debug server is not running, and one short mutex section plus a struct
+// store when it is — both allocation-free, so the hook can stay on every
+// Emit of a traced machine.
+type Flight struct {
+	// on is the shared arming switch, owned by whoever serves the ring (the
+	// introspect registry's debug server). nil or false = recording off.
+	on *atomic.Bool
+
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	total uint64
+}
+
+// DefaultFlightCapacity is the ring size used when NewFlight is given a
+// non-positive capacity.
+const DefaultFlightCapacity = 256
+
+// NewFlight builds a flight ring holding the most recent capacity events,
+// recording only while on (shared, may be nil = never) is true.
+func NewFlight(capacity int, on *atomic.Bool) *Flight {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &Flight{on: on, ring: make([]Event, capacity)}
+}
+
+// Record stores one event, overwriting the oldest when full. Nil-safe; a
+// no-op unless the arming switch is on.
+func (f *Flight) Record(ev Event) {
+	if f == nil || f.on == nil || !f.on.Load() {
+		return
+	}
+	f.mu.Lock()
+	f.ring[f.next] = ev
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Events returns the retained events in emission (= chronological) order.
+func (f *Flight) Events() []Event {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.total <= uint64(len(f.ring)) {
+		out := make([]Event, f.total)
+		copy(out, f.ring[:f.total])
+		return out
+	}
+	out := make([]Event, 0, len(f.ring))
+	out = append(out, f.ring[f.next:]...)
+	out = append(out, f.ring[:f.next]...)
+	return out
+}
+
+// Total reports how many events were recorded since arming (including ones
+// since overwritten).
+func (f *Flight) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}

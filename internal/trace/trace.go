@@ -129,6 +129,12 @@ type Recorder struct {
 	next  int
 	total uint64
 
+	// flight, when non-nil, receives a copy of every emitted event for the
+	// debug server's mid-run /events view. Set once at machine attach time,
+	// before the machine runs; the ring itself gates recording on its arming
+	// switch, so the Emit-side cost is one branch plus one atomic load.
+	flight *Flight
+
 	trackNames map[int32]string
 	trackOrder []int32
 }
@@ -167,6 +173,17 @@ func (r *Recorder) TrackName(pid int32, name string) {
 	r.trackNames[pid] = name
 }
 
+// SetFlight tees every subsequent Emit into the given flight ring. Must be
+// called before the machine starts running (the field is read, unguarded,
+// from the simulation goroutine); the introspect registry calls it when it
+// attaches a freshly built machine.
+func (r *Recorder) SetFlight(f *Flight) {
+	if r == nil {
+		return
+	}
+	r.flight = f
+}
+
 // Emit appends an event, stamping it with the current simulated time.
 func (r *Recorder) Emit(ev Event) {
 	if r == nil {
@@ -179,6 +196,7 @@ func (r *Recorder) Emit(ev Event) {
 		r.next = 0
 	}
 	r.total++
+	r.flight.Record(ev)
 }
 
 // Total reports how many events were emitted over the run.

@@ -309,6 +309,7 @@ func (rs *ReplaySampler) SampleRun(r *sim.Rand, buf []kernel.AccessRun, n int) [
 			rs.live.seqPos, rs.live.seqCnt = ch.seqPos, ch.seqCnt
 			if hit {
 				rs.hits.Inc()
+				replayHits.Inc()
 			}
 			for i := range ch.starts {
 				buf = append(buf, kernel.AccessRun{

@@ -16,9 +16,29 @@ package workload
 import (
 	"sync"
 
+	"hawkeye/internal/introspect"
 	"hawkeye/internal/kernel"
 	"hawkeye/internal/trace"
 )
+
+// Like the snapshot cache, this cache's process-wide size is observable
+// live: trace_cache_entries, trace_cache_bytes and trace_cache_evict on the
+// introspect registry. replayHits is the process-wide twin of the per-run
+// trace_replay_hits counter — the scrape's collision rule makes it the one
+// /metrics reports, so it also covers machines whose recorders have been
+// detached or were never traced.
+func init() {
+	introspect.RegisterCache("trace_cache", func() introspect.CacheStats {
+		s := TraceCacheStatsNow()
+		return introspect.CacheStats{
+			Entries:       s.Entries,
+			ResidentBytes: s.ResidentBytes,
+			Evictions:     s.Evictions,
+		}
+	})
+}
+
+var replayHits = introspect.GetCounter("trace_replay_hits")
 
 // TraceKey identifies one process access stream within a sweep: machine
 // configuration (Engine/Trace pointers normalized to nil — they do not
@@ -196,7 +216,6 @@ func (inst *Instance) AttachReplay(key TraceKey, rec *trace.Recorder) bool {
 	}
 	tr, evicted := TraceFor(key)
 	st.Source = NewReplaySampler(tr, rec.Counter("trace_replay_hits"))
-	rec.Counter("trace_cache_bytes").Add(tr.Bytes())
-	rec.Counter("trace_cache_evict").Add(evicted)
+	introspect.CountCacheAttach(rec, "trace_cache", tr.Bytes(), evicted)
 	return true
 }
