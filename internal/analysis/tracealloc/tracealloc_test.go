@@ -26,6 +26,18 @@ func TestTraceallocReplayHooks(t *testing.T) {
 	)
 }
 
+// TestTraceallocChunkMemoHooks analyzes the kernel testdata package — the
+// chunk-effect memoization counter shapes: handles bound once at trace
+// attach behind an explicit registry guard and ticked per
+// hit/miss/invalidate from the memoized steady path stay silent; per-chunk
+// formatted names, unguarded registry derefs and allocating hook arguments
+// on the same path are flagged.
+func TestTraceallocChunkMemoHooks(t *testing.T) {
+	analysistest.Run(t, "testdata", tracealloc.Analyzer,
+		"hawkeye/internal/kernel",
+	)
+}
+
 // TestTraceallocCacheAttachHooks analyzes the snapshot testdata package —
 // the unified cache-attach helper of the introspection PR: a nil-guarded
 // helper concatenating metric names from a cache prefix is sanctioned, the

@@ -188,6 +188,15 @@ func (s *Store) SetZero(f mem.FrameID) {
 	}
 }
 
+// SetZeroRange records that n consecutive frames starting at f were
+// cleared — SetZero in bulk, with the same zero-over-zero skip per frame,
+// so clearing a run of already-zero frames touches no chunk at all.
+func (s *Store) SetZeroRange(f mem.FrameID, n int) {
+	for i := 0; i < n; i++ {
+		s.SetZero(f + mem.FrameID(i))
+	}
+}
+
 // firstNonZero draws a first-non-zero offset through the threshold table,
 // which produces bit-identical values to Geometric(MeanFirstNonZero, ...)
 // while skipping its per-draw multiply chain.

@@ -406,12 +406,10 @@ func (h *HawkEye) startPrezero(k *kernel.Kernel) {
 			if !ok {
 				break
 			}
-			n := mem.FrameID(1) << order
-			for i := mem.FrameID(0); i < n; i++ {
-				k.Content.SetZero(head + i)
-			}
+			n := int64(1) << order
+			k.Content.SetZeroRange(head, int(n))
 			k.Alloc.InsertZeroBlock(head, order)
-			zeroed += int64(n)
+			zeroed += n
 			cost := k.Cfg.Fault.ZeroBlockCost(order)
 			k.PrezeroTime += cost
 			k.DaemonTime += cost

@@ -1,0 +1,264 @@
+package kernel
+
+// Chunk-effect memoization (DESIGN §14). The batched steady path
+// re-executes identical recorded trace chunks against near-identical
+// machine states thousands of times per sweep grid. This file shortcuts
+// that: before executing a replayable chunk, the kernel fingerprints the
+// state the chunk's outcome depends on — per-region mapping class and
+// fault-freedom (gated via vmm generation counters), per-TLB-set
+// residency (digest + LRU rank + raw keys), and the process's walk-cost
+// inputs — and on a fingerprint hit applies a cached effect delta in
+// O(touched regions + touched sets) instead of O(runs). Misses execute
+// live and record a new variant; promote/demote/shootdown/swap/compaction
+// bump generations so stale gate verdicts die cheaply.
+//
+// The per-run path remains the golden oracle behind Config.NoChunkMemo,
+// with byte-identical outputs enforced by TestChunkMemoMatchesOracle and
+// the CI sweep-smoke cmp.
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+
+	"hawkeye/internal/introspect"
+	"hawkeye/internal/mem"
+	"hawkeye/internal/memo"
+	"hawkeye/internal/sim"
+	"hawkeye/internal/tlb"
+	"hawkeye/internal/vmm"
+)
+
+// MemoSampler is a RunSampler serving a recorded trace in fixed chunks
+// that exposes each upcoming chunk's memoization handle, so the kernel
+// can apply a cached effect instead of decoding and executing the runs.
+type MemoSampler interface {
+	RunSampler
+	// PeekChunk returns the memo handle of the chunk the next SampleRun
+	// call would serve from the record, without consuming anything.
+	// ok=false means that call cannot be served from the record.
+	PeekChunk(r *sim.Rand, n int) (*memo.Chunk, bool)
+	// AdvanceChunk consumes the chunk a successful PeekChunk validated,
+	// replicating SampleRun's replay bookkeeping without decoding runs.
+	AdvanceChunk(r *sim.Rand)
+}
+
+// Process-wide mirrors of the per-machine chunk-effect counters, exposed
+// through the introspect registry (/metrics) alongside trace_replay_hits.
+var (
+	introChunkHits  = introspect.GetCounter("chunk_effect_hits")
+	introChunkMiss  = introspect.GetCounter("chunk_effect_miss")
+	introChunkInval = introspect.GetCounter("chunk_effect_invalidate")
+)
+
+// gateSlots sizes the per-process direct-mapped region-gate cache.
+const gateSlots = 32
+
+// gateEntry caches one region's gate classification at a mapping
+// generation: open means any chunk passes (huge, or fully populated with
+// no COW); otherwise each chunk re-checks its own masks.
+type gateEntry struct {
+	region int64
+	gen    uint32
+	open   bool
+	valid  bool
+}
+
+// memoScratch is per-process reusable state for the fingerprint cycle.
+// Everything is reused across quanta; the hit path allocates nothing.
+type memoScratch struct {
+	sets  tlb.MemoSets
+	key   []uint64
+	full  []uint64
+	delta memo.Delta
+	gate  [gateSlots]gateEntry
+}
+
+// reset clears machine-specific state (gate verdicts reference another
+// machine's regions and generations) while keeping grown capacity.
+func (sc *memoScratch) reset() {
+	sc.gate = [gateSlots]gateEntry{}
+}
+
+// memoScratchPool recycles scratch across machine teardowns, like
+// runBufPool: every cell's processes fingerprint chunks of the same
+// geometry, so a released scratch is exactly what the next cell needs.
+var memoScratchPool sync.Pool
+
+func (p *Proc) memoScratch() *memoScratch {
+	if p.memo == nil {
+		if s, ok := memoScratchPool.Get().(*memoScratch); ok {
+			s.reset()
+			p.memo = s
+		} else {
+			p.memo = &memoScratch{}
+		}
+	}
+	return p.memo
+}
+
+// gatePass decides whether the chunk's touches on one region can run
+// fault-free, consulting the per-process gate cache first. A stale
+// generation counts as an invalidation (the region's mapping changed
+// under a cached verdict); a plain cache miss does not.
+func (k *Kernel) gatePass(sc *memoScratch, r *vmm.Region, rf *memo.RegionFoot) bool {
+	ge := &sc.gate[uint64(rf.Region)&(gateSlots-1)]
+	if ge.valid && ge.region == rf.Region {
+		if ge.gen == r.Gen() {
+			if ge.open {
+				return true
+			}
+			return r.MemoGate(&rf.Touched, &rf.Written)
+		}
+		k.ctrChunkInval.Inc()
+		introChunkInval.Inc()
+	}
+	ge.valid = true
+	ge.region = rf.Region
+	ge.gen = r.Gen()
+	ge.open = r.MemoFullyOpen()
+	if ge.open {
+		return true
+	}
+	return r.MemoGate(&rf.Touched, &rf.Written)
+}
+
+// chunkMemo runs one quantum through the memo layer. handled=false means
+// the caller must take the ordinary sampling path (no replayable chunk,
+// or the gate rejected it); handled=true means the chunk was consumed —
+// either applied from cache (hit) or executed live here (miss, possibly
+// recording a new variant) — and walkTotal/faultCost carry its effect.
+func (k *Kernel) chunkMemo(p *Proc, ms MemoSampler, prof *AccessProfile, samples int) (walkTotal sim.Cycles, faultCost sim.Time, handled bool, err error) {
+	c, ok := ms.PeekChunk(p.rng, samples)
+	if !ok {
+		k.ctrChunkMiss.Inc()
+		introChunkMiss.Inc()
+		return 0, 0, false, nil
+	}
+	if c.Cold() {
+		// The chunk's pre-states stopped recurring (ColdMissStreak
+		// consecutive lookup misses): skip the footprint walk and
+		// fingerprint entirely and let the caller execute it live.
+		k.ctrChunkMiss.Inc()
+		introChunkMiss.Inc()
+		return 0, 0, false, nil
+	}
+	sc := p.memoScratch()
+
+	// Fingerprint header: process identity and the walk-cost inputs that
+	// feed walkCost. Machine-constant inputs (TLB geometry, cycle costs)
+	// are pinned by the trace cache key and need no encoding.
+	nested := uint64(0)
+	if p.Nested {
+		nested = 1
+	}
+	key := append(sc.key[:0],
+		uint64(p.VP.PID)<<1|nested,
+		math.Float64bits(p.NestedDiscount),
+		math.Float64bits(float64(prof.Locality)))
+
+	// Region gate + region fingerprint words + touched-set marking.
+	k.TLB.MemoBegin(&sc.sets)
+	for i := range c.Foot.Regions {
+		rf := &c.Foot.Regions[i]
+		r := p.VP.Region(vmm.RegionIndex(rf.Region))
+		if r == nil || !k.gatePass(sc, r, rf) {
+			sc.key = key
+			k.ctrChunkMiss.Inc()
+			introChunkMiss.Inc()
+			return 0, 0, false, nil
+		}
+		if r.Huge {
+			key = append(key, uint64(rf.Region)<<1|1)
+			k.TLB.MemoTouch(&sc.sets, rf.Region, true)
+		} else {
+			key = append(key, uint64(rf.Region)<<1)
+			for w, bm := range rf.Touched {
+				for bm != 0 {
+					b := bits.TrailingZeros64(bm)
+					bm &^= 1 << uint(b)
+					vpn := rf.Region<<mem.HugeOrder | int64(w<<6|b)
+					k.TLB.MemoTouch(&sc.sets, vpn, false)
+				}
+			}
+		}
+	}
+	key, full := k.TLB.MemoFingerprint(&sc.sets, key, sc.full[:0])
+	sc.key, sc.full = key, full
+
+	if v := c.Lookup(key, full); v != nil {
+		k.applyChunk(p, c, v)
+		ms.AdvanceChunk(p.rng)
+		k.ctrChunkHit.Inc()
+		introChunkHits.Inc()
+		return sim.Cycles(v.Delta.Walk), 0, true, nil
+	}
+	k.ctrChunkMiss.Inc()
+	introChunkMiss.Inc()
+
+	// Miss: execute the chunk live through the ordinary run loop (the
+	// SampleRun below serves exactly the peeked chunk) and, when the
+	// store has room, record the effect for the next machine in this
+	// state.
+	record := c.CanRecord()
+	if record {
+		k.TLB.MemoSnapshot(&sc.sets)
+	}
+	if p.runBuf == nil {
+		p.runBuf = getRunBuf()
+	}
+	p.runBuf = ms.SampleRun(p.rng, p.runBuf[:0], samples)
+	for i := range p.runBuf {
+		r, terr := k.TouchRun(p, p.runBuf[i], prof)
+		if terr != nil {
+			return walkTotal, faultCost, true, terr
+		}
+		faultCost += r.FaultCost
+		walkTotal += r.Walk
+	}
+	// faultCost != 0 would mean the gate let fault work through — the
+	// recording would not be a pure chunk effect, so skip it (belt; the
+	// live execution above is still correct).
+	if record && faultCost == 0 && k.TLB.MemoDelta(&sc.sets, &sc.delta) {
+		c.Publish(&memo.Variant{
+			Key:  append([]uint64(nil), key...),
+			Full: append([]uint64(nil), full...),
+			Delta: memo.Delta{
+				Walk:    float64(walkTotal),
+				Lookups: sc.delta.Lookups,
+				L1Hits:  sc.delta.L1Hits,
+				L2Hits:  sc.delta.L2Hits,
+				Misses:  sc.delta.Misses,
+				Ticks:   sc.delta.Ticks,
+				Slots:   append([]memo.SlotDelta(nil), sc.delta.Slots...),
+			},
+		})
+	}
+	return walkTotal, faultCost, true, nil
+}
+
+// applyChunk replays a cached variant: TLB counters/slots/ticks, region
+// accessed/dirty masks, and the chunk's content-store writes (in run
+// order, consuming exactly the RNG draws live execution would). Frames
+// are resolved live — they are not fingerprint material, because the
+// effect of a write depends only on which frame currently backs the VPN.
+func (k *Kernel) applyChunk(p *Proc, c *memo.Chunk, v *memo.Variant) {
+	k.TLB.MemoApply(&v.Delta)
+	for i := range c.Foot.Regions {
+		rf := &c.Foot.Regions[i]
+		r := p.VP.Region(vmm.RegionIndex(rf.Region))
+		r.MemoApplyBits(&rf.Touched, &rf.Written, rf.AnyWritten())
+	}
+	for _, wr := range c.Foot.WriteRuns {
+		vpn := vmm.VPN(wr.VPN)
+		r, e := p.VP.ResolvePTE(vpn)
+		var frame mem.FrameID
+		if r.Huge {
+			frame = r.HugeFrame + mem.FrameID(vmm.SlotOf(vpn))
+		} else {
+			frame = e.Frame
+		}
+		k.Content.WriteRepeat(frame, int(wr.Count))
+		k.Alloc.MarkDirty(frame)
+	}
+}

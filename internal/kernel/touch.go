@@ -255,15 +255,14 @@ func (k *Kernel) zeroFrame(f mem.FrameID) {
 	k.Alloc.MarkZeroed(f)
 }
 
-// zeroBlock clears a block unless it was pre-zeroed.
+// zeroBlock clears a block unless it was pre-zeroed: content signatures in
+// bulk, allocator zero bits a word (64 frames) at a time.
 func (k *Kernel) zeroBlock(head mem.FrameID, order int, alreadyZero bool) {
 	if alreadyZero {
 		return
 	}
-	n := mem.FrameID(1) << order
-	for i := mem.FrameID(0); i < n; i++ {
-		k.zeroFrame(head + i)
-	}
+	k.Content.SetZeroRange(head, 1<<order)
+	k.Alloc.MarkZeroedBlock(head, order)
 }
 
 // Madvise releases a range of pages (MADV_DONTNEED) and returns its cost.

@@ -450,12 +450,21 @@ func (a *Allocator) tryAlloc(order int, pref ZeroPref, tag Tag) (Block, bool) {
 
 // commitAlloc marks the frames of a block allocated. Per-frame content
 // (zeroed) bits are preserved: allocation does not change page contents.
+// Frame metadata is rewritten span-at-a-time (one chunk ownership check
+// per run, not per frame) — with huge allocations this loop sits on the
+// fault path's free-list refill cycle.
 func (a *Allocator) commitAlloc(head FrameID, order int, tag Tag) {
 	n := FrameID(1) << order
-	for i := FrameID(0); i < n; i++ {
-		f := a.frames.Mut(int(head + i))
-		f.tag = tag
-		f.freeHead = false
+	for i := FrameID(0); i < n; {
+		span := a.frames.MutSpan(int(head + i))
+		if rem := int(n - i); len(span) > rem {
+			span = span[:rem]
+		}
+		for j := range span {
+			span[j].tag = tag
+			span[j].freeHead = false
+		}
+		i += FrameID(len(span))
 	}
 	a.zeroFreePages -= Pages(a.countBlockZero(head, order))
 	a.freePages -= Pages(n)
@@ -495,17 +504,24 @@ func (a *Allocator) Free(head FrameID, order int, dirty bool) {
 	if tag == TagFree {
 		panic(fmt.Sprintf("mem: double free of frame %d", head))
 	}
-	for i := FrameID(0); i < n; i++ {
-		f := a.frames.Mut(int(head + i))
-		if f.tag == TagFree {
-			panic(fmt.Sprintf("mem: double free of frame %d", head+i))
+	for i := FrameID(0); i < n; {
+		span := a.frames.MutSpan(int(head + i))
+		if rem := int(n - i); len(span) > rem {
+			span = span[:rem]
 		}
-		if f.tag != tag {
-			// Mixed-tag blocks are freed per-frame by callers; reaching here
-			// means an accounting bug.
-			panic(fmt.Sprintf("mem: Free spans tags %v and %v", tag, f.tag))
+		for j := range span {
+			f := &span[j]
+			if f.tag == TagFree {
+				panic(fmt.Sprintf("mem: double free of frame %d", head+i+FrameID(j)))
+			}
+			if f.tag != tag {
+				// Mixed-tag blocks are freed per-frame by callers; reaching here
+				// means an accounting bug.
+				panic(fmt.Sprintf("mem: Free spans tags %v and %v", tag, f.tag))
+			}
+			f.tag = TagFree
 		}
-		f.tag = TagFree
+		i += FrameID(len(span))
 	}
 	if dirty {
 		a.clearBlockZero(head, order)
@@ -669,6 +685,13 @@ func (a *Allocator) MarkDirty(id FrameID) { a.clearFrameZeroed(id) }
 // MarkZeroed records that an allocated frame's content is all-zero (e.g.
 // after explicit clearing by the fault handler).
 func (a *Allocator) MarkZeroed(id FrameID) { a.setFrameZeroed(id) }
+
+// MarkZeroedBlock records that an allocated, buddy-aligned 2^order-page
+// block was cleared — MarkZeroed over the whole block, but updating the
+// per-frame content bits a word (64 frames) at a time. Words already at
+// all-ones are skipped, so re-clearing a known-zero block never
+// materializes a shared chunk.
+func (a *Allocator) MarkZeroedBlock(head FrameID, order int) { a.setBlockZero(head, order) }
 
 // CheckConsistency validates allocator invariants: free-list contents must
 // sum to freePages, per-frame zero bits to zeroFreePages, and every linked

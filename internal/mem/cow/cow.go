@@ -182,6 +182,21 @@ func (t *Table[T]) Mut(i int) *T {
 	return &ch.data[i&chunkMask]
 }
 
+// MutSpan returns a writable slice aliasing the elements of element i's
+// chunk from i to the chunk boundary — the longest contiguous writable run
+// starting at i. The chunk is materialized exactly like Mut, so a caller
+// sweeping a range pays one ownership check and at most one copy per 4096
+// elements instead of one per element. Like Mut pointers, the slice is
+// valid only until the table's next Seal.
+func (t *Table[T]) MutSpan(i int) []T {
+	ci := i >> chunkShift
+	ch := t.spine[ci]
+	if ch.owner != t.id {
+		ch = t.materialize(ci)
+	}
+	return ch.data[i&chunkMask:]
+}
+
 // materialize copies chunk ci into a privately owned chunk and installs
 // it. The copy is built fully (owner set) before being published on the
 // spine, so concurrent readers of *other* forks — which share the old

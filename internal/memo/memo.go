@@ -1,0 +1,327 @@
+// Package memo holds the shared vocabulary of the chunk-effect
+// memoization layer: per-chunk access footprints precomputed at trace
+// capture, fingerprint-keyed effect variants recorded by the kernel's
+// settled steady path, and the byte budget that bounds how much cached
+// effect state a trace may accumulate.
+//
+// The package sits below every consumer — workload builds footprints,
+// tlb diffs and applies TLB slot deltas, kernel orchestrates fingerprint
+// construction and variant lookup — so it depends only on internal/mem
+// for the page-geometry constants.
+//
+// # Safety contract (DESIGN §14 has the full argument)
+//
+// A Variant's Key is an exact encoding of every machine input the
+// chunk's outcome depends on: process identity and nesting, walk-cost
+// profile inputs, the huge/base mapping class of every touched region,
+// and — per touched TLB set — a content digest plus the LRU rank
+// permutation of the set's slots. Full additionally stores the touched
+// sets' raw entry keys; a lookup only hits when Key AND Full match
+// word-for-word, so the XOR digest is a quick-reject filter, never the
+// final word. Given a match, replaying the recorded Delta reproduces the
+// live per-run execution bit-for-bit: walk cycles are stored as the
+// run-order float sum, TLB slot updates carry tick-relative LRU offsets
+// (machine-independent because a set's future behaviour depends only on
+// the relative stamp order, which the rank word pins), accessed/dirty
+// bits are idempotent ORs of the footprint masks, and content writes
+// replay the exact per-run RNG draw counts through WriteRepeat.
+package memo
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hawkeye/internal/mem"
+)
+
+// BitmapWords is the length of a region slot bitmap in 64-bit words,
+// mirroring internal/vmm's per-region accessed/dirty/present bitmaps.
+const BitmapWords = mem.HugePages / 64
+
+// MaxVariants bounds how many effect variants a single chunk may cache.
+// Sweep grids share one trace across policy×threshold cells whose machine
+// states differ, so a chunk can legitimately see a handful of distinct
+// fingerprints; beyond that the marginal hit rate does not pay for the
+// memory.
+const MaxVariants = 4
+
+// DefaultBudgetBytes is the per-trace cap on cached variant bytes. It is
+// deliberately separate from the trace cache's stream-byte accounting:
+// variants grow during execution (not at capture), and folding a moving
+// number into the cache's eviction budget would make eviction decisions
+// depend on sweep scheduling order. Footprints are charged to the trace
+// stream (they are built at capture and never grow); variants are charged
+// here.
+const DefaultBudgetBytes = 16 << 20
+
+// RegionFoot summarizes a chunk's touches within one huge-page-aligned
+// region: which 4K slots are accessed and which of those are written.
+type RegionFoot struct {
+	Region  int64
+	Touched [BitmapWords]uint64
+	Written [BitmapWords]uint64
+}
+
+// AnyWritten reports whether the chunk writes any slot of the region.
+func (rf *RegionFoot) AnyWritten() bool {
+	var or uint64
+	for _, w := range rf.Written {
+		or |= w
+	}
+	return or != 0
+}
+
+// WriteRun is one write dwell of the chunk in original run order: Count
+// consecutive writes to the page at VPN. Replaying these in order through
+// content.WriteRepeat consumes exactly the RNG draws the live per-run
+// path would, ending on the same final frame signature.
+type WriteRun struct {
+	VPN   int64
+	Count int32
+}
+
+// Footprint is the capture-time summary of a chunk's accesses: the
+// touched regions in ascending index order with slot masks, plus the
+// write dwells in run order. It is immutable after capture and shared by
+// every machine replaying the trace.
+type Footprint struct {
+	Regions   []RegionFoot
+	WriteRuns []WriteRun
+}
+
+// Bytes reports the footprint's resident heap size; charged against the
+// owning trace's stream bytes at capture.
+func (f *Footprint) Bytes() int64 {
+	const regionFootSize = 8 + 8*BitmapWords*2
+	return int64(len(f.Regions))*regionFootSize + int64(len(f.WriteRuns))*16
+}
+
+// FootprintBuilder accumulates a chunk's runs into a canonical Footprint.
+// Chunk runs are always single-page dwells (capture breaks the chunk on
+// any strided run), so each run lands in exactly one region slot.
+type FootprintBuilder struct {
+	idx  map[int64]int
+	foot Footprint
+}
+
+// NewFootprintBuilder returns an empty builder. Builders allocate freely:
+// they run once per captured chunk, off the steady-state hot path.
+func NewFootprintBuilder() *FootprintBuilder {
+	return &FootprintBuilder{idx: make(map[int64]int)}
+}
+
+// AddRun records one dwell: count accesses to vpn, writing if write.
+func (b *FootprintBuilder) AddRun(vpn int64, count int, write bool) {
+	region := vpn >> mem.HugeOrder
+	slot := vpn & (mem.HugePages - 1)
+	i, ok := b.idx[region]
+	if !ok {
+		i = len(b.foot.Regions)
+		b.idx[region] = i
+		b.foot.Regions = append(b.foot.Regions, RegionFoot{Region: region})
+	}
+	rf := &b.foot.Regions[i]
+	w, m := slot>>6, uint64(1)<<(slot&63)
+	rf.Touched[w] |= m
+	if write {
+		rf.Written[w] |= m
+		b.foot.WriteRuns = append(b.foot.WriteRuns, WriteRun{VPN: vpn, Count: int32(count)})
+	}
+}
+
+// Finish canonicalizes (regions ascending) and returns the footprint.
+func (b *FootprintBuilder) Finish() Footprint {
+	regs := b.foot.Regions
+	// Insertion sort: chunks touch few regions and arrive nearly sorted.
+	for i := 1; i < len(regs); i++ {
+		for j := i; j > 0 && regs[j-1].Region > regs[j].Region; j-- {
+			regs[j-1], regs[j] = regs[j], regs[j-1]
+		}
+	}
+	return b.foot
+}
+
+// SlotDelta is one TLB slot's final state after a chunk: the entry key
+// written and the slot's LRU stamp as an offset from the owning array's
+// tick at chunk start. Ref packs the array ordinal (bits 30-31) over the
+// global slot index (bits 0-29).
+type SlotDelta struct {
+	Ref    uint32
+	LruOff uint32
+	Key    uint64
+}
+
+// SlotRef packs an array ordinal and global slot index into a Ref.
+func SlotRef(arr uint8, slot int) uint32 { return uint32(arr)<<30 | uint32(slot) }
+
+// Arr unpacks the array ordinal from a Ref.
+func (d SlotDelta) Arr() uint8 { return uint8(d.Ref >> 30) }
+
+// Slot unpacks the global slot index from a Ref.
+func (d SlotDelta) Slot() int { return int(d.Ref & (1<<30 - 1)) }
+
+// Delta is the recorded machine effect of executing a chunk from a
+// fingerprinted state: TLB counter increments, per-array tick advances,
+// the slots whose key or stamp changed, and the walk-cycle sum in
+// original run order (stored as the float64 backing sim.Cycles so
+// applying it reproduces the live accumulation bit-for-bit).
+type Delta struct {
+	Walk    float64
+	Lookups int64
+	L1Hits  int64
+	L2Hits  int64
+	Misses  int64
+	Ticks   [3]uint64
+	Slots   []SlotDelta
+}
+
+// Variant is one cached (fingerprint, effect) pair. Key is the compact
+// fingerprint (header, region words, per-set digest+rank words); Full is
+// the mandatory exactness check: the touched sets' raw entry keys in
+// canonical order. Both are immutable after Publish.
+type Variant struct {
+	Key   []uint64
+	Full  []uint64
+	Delta Delta
+}
+
+func (v *Variant) bytes() int64 {
+	return int64(len(v.Key)+len(v.Full))*8 + int64(len(v.Delta.Slots))*16 + 128
+}
+
+// Budget is the shared per-trace byte cap for published variants.
+type Budget struct {
+	used atomic.Int64
+	max  int64
+}
+
+// NewBudget returns a budget capped at max bytes (DefaultBudgetBytes if
+// max <= 0).
+func NewBudget(max int64) *Budget {
+	if max <= 0 {
+		max = DefaultBudgetBytes
+	}
+	return &Budget{max: max}
+}
+
+// Used reports the bytes currently charged; the owning trace adds this to
+// its stream bytes for cache accounting.
+func (b *Budget) Used() int64 { return b.used.Load() }
+
+func (b *Budget) tryReserve(n int64) bool {
+	for {
+		cur := b.used.Load()
+		if cur+n > b.max {
+			return false
+		}
+		if b.used.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
+}
+
+// ColdMissStreak is how many consecutive lookup misses (with no
+// intervening hit) turn a chunk cold. A chunk whose pre-states never
+// recur — a single long run rather than a grid of forked cells — pays
+// the footprint walk and fingerprint on every visit and never earns it
+// back; after this many fruitless lookups in a row the kernel stops
+// fingerprinting it and executes it live unconditionally. Grid cells
+// hit well before the streak builds (each distinct pre-state misses
+// once, records, and every later cell in that state resets the streak).
+const ColdMissStreak = 8
+
+// Chunk is the memoization handle of one trace chunk: the capture-time
+// footprint plus the lock-free variant store. Readers load an immutable
+// variant slice; Publish copies-on-write under the chunk mutex, so
+// concurrent cells replaying the same trace race only on atomics.
+type Chunk struct {
+	Foot     Footprint
+	budget   *Budget
+	mu       sync.Mutex
+	variants atomic.Pointer[[]*Variant]
+	// missStreak counts consecutive Lookup misses since the last hit.
+	// Races between concurrent cells are benign: the streak gates only a
+	// performance bypass, never correctness.
+	missStreak atomic.Uint32
+}
+
+// NewChunk wraps a finished footprint with an empty variant store charged
+// against b.
+func NewChunk(foot Footprint, b *Budget) *Chunk {
+	return &Chunk{Foot: foot, budget: b}
+}
+
+// Lookup returns the variant whose fingerprint matches key and full
+// exactly, or nil. Allocation-free. Hits reset the cold-miss streak;
+// misses grow it.
+func (c *Chunk) Lookup(key, full []uint64) *Variant {
+	if vsp := c.variants.Load(); vsp != nil {
+		for _, v := range *vsp {
+			if wordsEqual(v.Key, key) && wordsEqual(v.Full, full) {
+				c.missStreak.Store(0)
+				return v
+			}
+		}
+	}
+	c.missStreak.Add(1)
+	return nil
+}
+
+// Cold reports whether the chunk has crossed ColdMissStreak consecutive
+// lookup misses: fingerprinting it has stopped paying, and the caller
+// should execute it live without touching the memo layer. A later hit
+// can never occur once callers honour Cold, so the verdict is sticky by
+// construction.
+func (c *Chunk) Cold() bool {
+	return c.missStreak.Load() >= ColdMissStreak
+}
+
+// CanRecord reports whether a new variant could plausibly be published:
+// the per-chunk variant cap is not yet reached. (The byte budget is
+// checked at Publish; this is the cheap pre-flight so full misses skip
+// snapshot bookkeeping once the chunk is saturated.)
+func (c *Chunk) CanRecord() bool {
+	vsp := c.variants.Load()
+	return vsp == nil || len(*vsp) < MaxVariants
+}
+
+// Publish adds v to the variant store unless the chunk is at its variant
+// cap, the trace budget is exhausted, or an equal-fingerprint variant was
+// published concurrently. v (including Key, Full and Delta.Slots) must
+// not be mutated afterwards. Reports whether v was stored.
+func (c *Chunk) Publish(v *Variant) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var cur []*Variant
+	if vsp := c.variants.Load(); vsp != nil {
+		cur = *vsp
+	}
+	if len(cur) >= MaxVariants {
+		return false
+	}
+	for _, have := range cur {
+		if wordsEqual(have.Key, v.Key) && wordsEqual(have.Full, v.Full) {
+			return false
+		}
+	}
+	if !c.budget.tryReserve(v.bytes()) {
+		return false
+	}
+	next := make([]*Variant, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = v
+	c.variants.Store(&next)
+	return true
+}
+
+func wordsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, w := range a {
+		if w != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,137 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"hawkeye/internal/experiments"
+	"hawkeye/internal/introspect"
+	"hawkeye/internal/workload"
+)
+
+// TestChunkMemoMatchesOracle is the chunk-effect memoization equivalence
+// gate: the same sweep grid runs twice — once with memoization on (the
+// default: replayed chunks whose fingerprints hit apply cached effect
+// deltas), once with NoChunkMemo forcing every chunk through the per-run
+// oracle path — and the rendered CSV and JSON reports must be
+// byte-identical. The memo layer earns its speedup purely by skipping
+// computation whose outcome the fingerprint already determines, so any
+// divergence — a state input missing from the fingerprint, a stale gate
+// verdict surviving a mapping change, a delta applied against drifted TLB
+// state — is a bug, not noise. The fig5 table (the multi-policy recovery
+// figure) is held to the same contract end to end.
+func TestChunkMemoMatchesOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sweep grid and fig5 twice; skipped in -short")
+	}
+	workload.ResetTraceCache()
+	defer workload.ResetTraceCache()
+
+	spec := experiments.SweepSpec{
+		Workload:   "graph500",
+		Policies:   []string{"linux-4k", "linux", "ingens", "hawkeye-pmu"},
+		Thresholds: []float64{0.3, 0.9},
+		Seeds:      2,
+		FragKeep:   0.15,
+	}
+	opts := experiments.Options{Scale: 0.02, Quick: true, Seed: 1}
+
+	oracleOpts := opts
+	oracleOpts.NoChunkMemo = true
+	oracle := RunSweep(spec, oracleOpts, 2)
+	hits0 := introspect.GetCounter("chunk_effect_hits").Value()
+	memoized := RunSweep(spec, opts, 2)
+	if hits := introspect.GetCounter("chunk_effect_hits").Value() - hits0; hits == 0 {
+		t.Error("memoized sweep applied no cached chunk effects — memoization never engaged")
+	}
+
+	for _, rep := range []*SweepReport{oracle, memoized} {
+		for _, row := range rep.Rows {
+			if row.Error != "" {
+				t.Fatalf("cell %s/%g/seed=%d: %s", row.Policy, row.Threshold, row.Seed, row.Error)
+			}
+		}
+		rep.TotalWallSeconds = 0
+	}
+
+	render := func(r *SweepReport) (string, string) {
+		var csv bytes.Buffer
+		if err := r.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return csv.String(), string(js)
+	}
+	oracleCSV, oracleJSON := render(oracle)
+	memoCSV, memoJSON := render(memoized)
+	if memoCSV != oracleCSV {
+		t.Errorf("memoized sweep CSV differs from per-run oracle\noracle:\n%s\nmemoized:\n%s", oracleCSV, memoCSV)
+	}
+	if memoJSON != oracleJSON {
+		t.Errorf("memoized sweep JSON report differs from per-run oracle")
+	}
+
+	// fig5 exercises promotion/demotion churn mid-replay — the invalidation
+	// side of the contract (generation bumps must kill stale gate verdicts
+	// before a cached delta can be misapplied).
+	oracleTab, err := experiments.Run("fig5", oracleOpts)
+	if err != nil {
+		t.Fatalf("fig5 oracle: %v", err)
+	}
+	memoTab, err := experiments.Run("fig5", opts)
+	if err != nil {
+		t.Fatalf("fig5 memoized: %v", err)
+	}
+	if memoTab.String() != oracleTab.String() {
+		t.Errorf("memoized fig5 table differs from per-run oracle\noracle:\n%s\nmemoized:\n%s",
+			oracleTab.String(), memoTab.String())
+	}
+}
+
+// TestChunkMemoConcurrentCells drives parallel sweep workers through one
+// shared cached trace, so concurrent machines fingerprint, record and apply
+// variants on the same memo chunks at once. Under -race this is the data-race
+// gate for the chunk store's copy-on-write publish and lock-free lookup; in
+// any mode it checks that worker count cannot change a simulated byte.
+func TestChunkMemoConcurrentCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation; skipped in -short")
+	}
+	workload.ResetTraceCache()
+	defer workload.ResetTraceCache()
+
+	// One workload geometry, many (policy, threshold, seed) cells: every
+	// cell's processes attach to the same cached trace and race on its
+	// chunks' variant stores.
+	spec := experiments.SweepSpec{
+		Workload:   "graph500",
+		Policies:   []string{"linux", "hawkeye-pmu"},
+		Thresholds: []float64{0.3, 0.6, 0.9},
+		Seeds:      2,
+		FragKeep:   0.15,
+	}
+	opts := experiments.Options{Scale: 0.02, Quick: true, Seed: 1}
+
+	render := func(workers int) string {
+		var csv bytes.Buffer
+		rep := RunSweep(spec, opts, workers)
+		for _, row := range rep.Rows {
+			if row.Error != "" {
+				t.Fatalf("%d workers, cell %s/%g/seed=%d: %s", workers, row.Policy, row.Threshold, row.Seed, row.Error)
+			}
+		}
+		if err := rep.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		return csv.String()
+	}
+	serial := render(1)
+	parallel := render(4)
+	if serial != parallel {
+		t.Errorf("sweep CSV depends on worker count under memoization\n1 worker:\n%s\n4 workers:\n%s", serial, parallel)
+	}
+}

@@ -1,0 +1,241 @@
+package tlb
+
+import (
+	"math/bits"
+
+	"hawkeye/internal/memo"
+)
+
+// This file is the TLB half of the chunk-effect memoization layer
+// (DESIGN §14). The kernel's settled steady path asks the TLB three
+// questions about a chunk it is about to execute:
+//
+//  1. Which sets would the chunk's pages touch? (MemoBegin + MemoTouch)
+//  2. What is the exact pre-execution state of those sets?
+//     (MemoFingerprint → digest + LRU-rank words for the compact key,
+//     raw entry keys for the mandatory exactness check)
+//  3. After a live execution, what changed? (MemoSnapshot before,
+//     MemoDelta after → a memo.Delta of counter increments, per-array
+//     tick advances, and final slot states with tick-relative stamps)
+//
+// On a later fingerprint hit, MemoApply replays the delta in O(changed
+// slots) instead of O(runs). The replay is exact because a set's future
+// behaviour depends only on its keys and the relative order of its LRU
+// stamps: the fingerprint pins both, every in-chunk stamp exceeds every
+// pre-chunk stamp (stamps only grow), and the recorded tick-relative
+// offsets reproduce the same relative order on any machine whose sets
+// matched the fingerprint.
+
+// Array ordinals used in memo.SlotDelta refs and per-array vectors,
+// in canonical fingerprint order.
+const (
+	arrL1Base = iota
+	arrL1Huge
+	arrL2
+	numArrays
+)
+
+// keyMix position-mixes an entry key for the per-set XOR digest. The
+// zero (invalid) key maps to zero so empty slots never perturb a digest;
+// valid keys are spread by a multiply and rotated by the global slot
+// index so the same key in different slots contributes differently.
+func keyMix(k uint64, slot int) uint64 {
+	if k == 0 {
+		return 0
+	}
+	return bits.RotateLeft64(k*0x9e3779b97f4a7c15, slot&63)
+}
+
+// MemoSets is reusable per-process scratch for one chunk's fingerprint
+// cycle. All slices are grown once to the TLB geometry and reused;
+// every method on it is allocation-free after warm-up.
+type MemoSets struct {
+	seen [numArrays][]uint64 // touched-set bitmaps, one bit per set
+	sets [numArrays][]int32  // touched set indices, ascending (built by MemoFingerprint)
+
+	// Record-path snapshot state (MemoSnapshot → MemoDelta).
+	tick0 [numArrays]uint64 // array ticks at snapshot
+	muts0 [numArrays]uint64 // per-array key-write counters at snapshot
+	cnt0  [4]int64          // Lookups, L1Hits, L2Hits, Misses at snapshot
+	gens0 []uint32          // touched sets' generations, canonical order
+	lrus0 []uint64          // touched slots' stamps, canonical order
+}
+
+func (t *TLB) arrays() [numArrays]*setAssoc {
+	return [numArrays]*setAssoc{t.l1Base, t.l1Huge, t.l2}
+}
+
+// MemoBegin resets ms for a new chunk, sizing its bitmaps to this TLB's
+// geometry on first use.
+func (t *TLB) MemoBegin(ms *MemoSets) {
+	for a, s := range t.arrays() {
+		words := (int(s.mask) + 64) >> 6
+		if cap(ms.seen[a]) < words {
+			ms.seen[a] = make([]uint64, words)
+		}
+		ms.seen[a] = ms.seen[a][:words]
+		for i := range ms.seen[a] {
+			ms.seen[a][i] = 0
+		}
+		ms.sets[a] = ms.sets[a][:0]
+	}
+}
+
+// MemoTouch marks the sets one page's translations probe: the L1 array
+// selected by the mapping class, plus the unified L2. page is a VPN for
+// base mappings or a region index for huge mappings, exactly as Access
+// takes it.
+func (t *TLB) MemoTouch(ms *MemoSets, page int64, huge bool) {
+	l1, a := t.l1Base, arrL1Base
+	if huge {
+		l1, a = t.l1Huge, arrL1Huge
+	}
+	set := uint64(page) & l1.mask
+	ms.seen[a][set>>6] |= 1 << (set & 63)
+	set = uint64(page) & t.l2.mask
+	ms.seen[arrL2][set>>6] |= 1 << (set & 63)
+}
+
+// MemoFingerprint appends the touched sets' state to the chunk
+// fingerprint: for each touched set in canonical order (arrays in
+// ordinal order, set indices ascending — an order fully determined by
+// the touch calls, so it needs no encoding), one digest word and one
+// LRU-rank word go to key, and the set's raw entry keys go to full. It
+// also materializes ms.sets for the snapshot/delta cycle. The rank word
+// packs, per slot, how many sibling slots hold a strictly smaller stamp
+// (invalid slots all rank 0); together with the raw keys this pins
+// everything victim selection and hit detection can observe.
+func (t *TLB) MemoFingerprint(ms *MemoSets, key, full []uint64) ([]uint64, []uint64) {
+	for a, s := range t.arrays() {
+		for w, bm := range ms.seen[a] {
+			for bm != 0 {
+				b := bits.TrailingZeros64(bm)
+				bm &^= 1 << b
+				set := w<<6 | b
+				ms.sets[a] = append(ms.sets[a], int32(set))
+				base := set * s.assoc
+				// Each slot's rank is how many sibling stamps are strictly
+				// smaller. One pairwise pass computes all ranks at once:
+				// valid stamps are distinct (ticks never repeat), so every
+				// pair contributes to exactly one side, and an invalid
+				// slot (stamp 0) naturally ranks 0 because nothing is
+				// smaller than zero.
+				var rank uint64
+				for i := 1; i < s.assoc; i++ {
+					li := s.lrus[base+i]
+					for j := 0; j < i; j++ {
+						if lj := s.lrus[base+j]; lj < li {
+							rank += 1 << (8 * i)
+						} else if li < lj {
+							rank += 1 << (8 * j)
+						}
+					}
+				}
+				for i := 0; i < s.assoc; i++ {
+					full = append(full, uint64(s.keys[base+i]))
+				}
+				key = append(key, s.digests[set], rank)
+			}
+		}
+	}
+	return key, full
+}
+
+// MemoSnapshot records the pre-execution state MemoDelta will diff
+// against: counters, per-array ticks and key-write totals, and the
+// touched sets' generations and slot stamps. Call it after
+// MemoFingerprint (which builds ms.sets) and before executing the chunk.
+func (t *TLB) MemoSnapshot(ms *MemoSets) {
+	ms.cnt0 = [4]int64{t.Lookups, t.L1Hits, t.L2Hits, t.Misses}
+	ms.gens0 = ms.gens0[:0]
+	ms.lrus0 = ms.lrus0[:0]
+	for a, s := range t.arrays() {
+		ms.tick0[a] = s.tick
+		ms.muts0[a] = s.muts
+		for _, set := range ms.sets[a] {
+			ms.gens0 = append(ms.gens0, s.gens[set])
+			base := int(set) * s.assoc
+			ms.lrus0 = append(ms.lrus0, s.lrus[base:base+s.assoc]...)
+		}
+	}
+}
+
+// MemoDelta diffs the TLB against the MemoSnapshot state into d:
+// counter increments, per-array tick advances, and a SlotDelta for every
+// touched slot whose key or stamp changed (stamps stored relative to the
+// array's snapshot tick). It reports false — caller must discard the
+// recording — when a key write escaped the touched sets (the belt
+// against the closure argument: a settled chunk only fills into sets it
+// probes) or a touched entry was invalidated mid-chunk.
+func (t *TLB) MemoDelta(ms *MemoSets, d *memo.Delta) bool {
+	d.Lookups = t.Lookups - ms.cnt0[0]
+	d.L1Hits = t.L1Hits - ms.cnt0[1]
+	d.L2Hits = t.L2Hits - ms.cnt0[2]
+	d.Misses = t.Misses - ms.cnt0[3]
+	d.Slots = d.Slots[:0]
+	pos, slotPos := 0, 0
+	for a, s := range t.arrays() {
+		d.Ticks[a] = s.tick - ms.tick0[a]
+		var genSum uint64
+		for _, set := range ms.sets[a] {
+			genDelta := s.gens[set] - ms.gens0[pos]
+			genSum += uint64(genDelta)
+			base := int(set) * s.assoc
+			for i := 0; i < s.assoc; i++ {
+				g := base + i
+				lruNow := s.lrus[g]
+				if lruNow == ms.lrus0[slotPos] && genDelta == 0 {
+					slotPos++
+					continue
+				}
+				if lruNow != ms.lrus0[slotPos] {
+					if lruNow <= ms.tick0[a] || !s.keys[g].valid() {
+						// A restamp below the start tick or a cleared
+						// entry means an invalidation ran mid-chunk;
+						// the recording is not a pure chunk effect.
+						return false
+					}
+					d.Slots = append(d.Slots, memo.SlotDelta{
+						Ref:    memo.SlotRef(uint8(a), g),
+						LruOff: uint32(lruNow - ms.tick0[a]),
+						Key:    uint64(s.keys[g]),
+					})
+				}
+				slotPos++
+			}
+			pos++
+		}
+		if s.muts-ms.muts0[a] != genSum {
+			return false
+		}
+	}
+	return true
+}
+
+// MemoApply replays a recorded delta: counters, slot writes (with
+// digest and generation maintenance) and tick advances, in O(changed
+// slots). Stamps are rebased onto this machine's current ticks; the
+// fingerprint match guarantees the resulting relative order — the only
+// thing future accesses can observe — matches live execution.
+func (t *TLB) MemoApply(d *memo.Delta) {
+	t.Lookups += d.Lookups
+	t.L1Hits += d.L1Hits
+	t.L2Hits += d.L2Hits
+	t.Misses += d.Misses
+	arrays := t.arrays()
+	var start [numArrays]uint64
+	for a, s := range arrays {
+		start[a] = s.tick
+		s.tick += d.Ticks[a]
+	}
+	for _, sd := range d.Slots {
+		a := arrays[sd.Arr()]
+		g := sd.Slot()
+		nk := entryKey(sd.Key)
+		if old := a.keys[g]; old != nk {
+			a.noteKey(g, old, nk)
+			a.keys[g] = nk
+		}
+		a.lrus[g] = start[sd.Arr()] + uint64(sd.LruOff)
+	}
+}

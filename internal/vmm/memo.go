@@ -1,0 +1,78 @@
+package vmm
+
+import (
+	"math/bits"
+
+	"hawkeye/internal/mem"
+)
+
+// This file is the VMM half of the chunk-effect memoization layer
+// (DESIGN §14). The kernel gates a chunk on each touched region — can
+// every touched slot run fault-free? — and, on a fingerprint hit,
+// applies the chunk's accessed/dirty effect as bulk word ORs instead of
+// per-run bit sets. Gate verdicts are cached per process keyed on
+// Region.Gen, which every mapping primitive bumps.
+
+// MemoGate reports whether a chunk that touches the masked slots (and
+// writes the written subset) executes without entering any fault path:
+// every touched slot is present, and no written slot is COW-shared. Huge
+// regions always pass — a huge mapping is present and private by
+// construction. Swapped and absent slots fail the present check (a
+// swapped PTE is not present), so swap-in, zero-fill and COW-break work
+// can never hide behind a memoized chunk.
+func (r *Region) MemoGate(touched, written *[bitmapWords]uint64) bool {
+	if r.Huge {
+		return true
+	}
+	for w := 0; w < bitmapWords; w++ {
+		if touched[w]&^r.present[w] != 0 {
+			return false
+		}
+	}
+	if r.populated == r.resident {
+		// No COW mappings anywhere in the region (COW bumps populated but
+		// not resident), so writes cannot need a break.
+		return true
+	}
+	for w := 0; w < bitmapWords; w++ {
+		wr := written[w]
+		for wr != 0 {
+			b := bits.TrailingZeros64(wr)
+			wr &^= 1 << uint(b)
+			if r.PTEs[w<<6|b].COW() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MemoFullyOpen reports whether every chunk — regardless of its touch
+// masks — passes MemoGate for this region: all 512 slots present with no
+// COW anywhere. The per-process gate cache uses it to classify a region
+// once per generation instead of re-masking per chunk.
+func (r *Region) MemoFullyOpen() bool {
+	if r.Huge {
+		return true
+	}
+	return r.populated == mem.HugePages && r.resident == mem.HugePages
+}
+
+// MemoApplyBits replays a gated chunk's access effect on the region: the
+// accessed/dirty bitmaps OR in the footprint masks (base mappings), or
+// the huge access/dirty flags are set (huge mappings). ORs are
+// idempotent and order-independent, and the live per-run path sets
+// exactly the footprint's bits, so the result is identical bit-for-bit.
+func (r *Region) MemoApplyBits(touched, written *[bitmapWords]uint64, anyWritten bool) {
+	if r.Huge {
+		r.hugeFlags |= pteAccessed
+		if anyWritten {
+			r.hugeFlags |= pteDirty
+		}
+		return
+	}
+	for w := 0; w < bitmapWords; w++ {
+		r.accessed[w] |= touched[w]
+		r.dirty[w] |= written[w]
+	}
+}
